@@ -1,0 +1,143 @@
+package cbes
+
+import (
+	"math"
+	"testing"
+
+	"cbes/internal/bench"
+	"cbes/internal/cluster"
+	"cbes/internal/core"
+	"cbes/internal/des"
+	"cbes/internal/workloads"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	sys := NewSystem(cluster.NewTestTopology(), Config{})
+	sys.Calibrate(bench.Options{Reps: 3})
+	return sys
+}
+
+func smallProg() workloads.Program {
+	return workloads.Synthetic(workloads.SyntheticConfig{
+		Ranks: 4, Iterations: 10, ComputePerIter: 0.05,
+		MsgSize: 16 << 10, MsgsPerIter: 2,
+	})
+}
+
+func TestSystemLifecycle(t *testing.T) {
+	sys := newSystem(t)
+	defer sys.Close()
+	prog := smallProg()
+	if _, err := sys.Profile(prog, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.ProfileOf(prog.Name); !ok {
+		t.Fatal("profile not registered")
+	}
+	if len(sys.Apps()) != 1 {
+		t.Fatalf("apps = %v", sys.Apps())
+	}
+
+	pred, err := sys.Predict(prog.Name, core.Mapping{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(prog, core.Mapping{0, 1, 2, 3})
+	actual := res.Elapsed.Seconds()
+	if e := math.Abs(pred.Seconds-actual) / actual; e > 0.05 {
+		t.Fatalf("prediction error %.1f%% (pred %v actual %v)", e*100, pred.Seconds, actual)
+	}
+}
+
+func TestProfileRequiresCalibration(t *testing.T) {
+	sys := NewSystem(cluster.NewTestTopology(), Config{})
+	defer sys.Close()
+	if _, err := sys.Profile(smallProg(), []int{0, 1, 2, 3}); err == nil {
+		t.Fatal("profiling before calibration should fail")
+	}
+}
+
+func TestProfileMappingSizeChecked(t *testing.T) {
+	sys := newSystem(t)
+	defer sys.Close()
+	if _, err := sys.Profile(smallProg(), []int{0, 1}); err == nil {
+		t.Fatal("wrong mapping size should fail")
+	}
+}
+
+func TestScheduleAlgorithms(t *testing.T) {
+	sys := newSystem(t)
+	defer sys.Close()
+	prog := smallProg()
+	sys.MustProfile(prog, []int{0, 1, 2, 3})
+	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel)
+	if len(pool) != 8 {
+		t.Fatalf("pool = %v", pool)
+	}
+	for _, alg := range []Algorithm{AlgCS, AlgNCS, AlgRS, AlgGA} {
+		d, err := sys.Schedule(prog.Name, alg, pool, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if err := d.Mapping.Validate(sys.Topo); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+	if _, err := sys.Schedule(prog.Name, Algorithm("bogus"), pool, 1); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+	if _, err := sys.Schedule("ghost", AlgCS, pool, 1); err == nil {
+		t.Fatal("unregistered app should fail")
+	}
+}
+
+func TestScheduleThenRunImproves(t *testing.T) {
+	sys := newSystem(t)
+	defer sys.Close()
+	prog := smallProg()
+	sys.MustProfile(prog, []int{0, 1, 2, 3})
+	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel)
+
+	cs, err := sys.Schedule(prog.Name, AlgCS, pool, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately bad mapping: slow Intel nodes.
+	bad := core.Mapping{4, 5, 6, 7}
+	good := sys.Run(prog, cs.Mapping)
+	worse := sys.Run(prog, bad)
+	if good.Elapsed >= worse.Elapsed {
+		t.Fatalf("scheduled mapping %v not faster than bad mapping %v", good.Elapsed, worse.Elapsed)
+	}
+}
+
+func TestAdvanceAndMonitoring(t *testing.T) {
+	sys := newSystem(t)
+	defer sys.Close()
+	sys.Eng.Schedule(des.Second, func() { sys.VC.SetAvailability(2, 0.5) })
+	sys.Advance(10 * des.Second)
+	snap := sys.Snapshot()
+	if math.Abs(snap.AvailCPU[2]-0.5) > 0.05 {
+		t.Fatalf("monitor did not track load: %v", snap.AvailCPU[2])
+	}
+	if sys.Eng.Now() != 10*des.Second {
+		t.Fatalf("Advance did not move time: %v", sys.Eng.Now())
+	}
+}
+
+func TestUseModelRoundTrip(t *testing.T) {
+	sys := newSystem(t)
+	defer sys.Close()
+	model := sys.Model
+	sys2 := NewSystem(cluster.NewTestTopology(), Config{})
+	defer sys2.Close()
+	if err := sys2.UseModel(model); err != nil {
+		t.Fatal(err)
+	}
+	sys3 := NewSystem(cluster.NewOrangeGrove(), Config{})
+	defer sys3.Close()
+	if err := sys3.UseModel(model); err == nil {
+		t.Fatal("model should not attach to a different cluster")
+	}
+}

@@ -1,0 +1,177 @@
+// Command cbesctl is the client CLI for the cbesd daemon.
+//
+// Usage:
+//
+//	cbesctl [-addr 127.0.0.1:7411] status
+//	cbesctl [-addr ...] evaluate -app lu.B.8 -mapping 0,1,2,3,4,5,6,7
+//	cbesctl [-addr ...] compare  -app lu.B.8 -mapping 0,1,2,3,4,5,6,7 -mapping 20,21,...
+//	cbesctl [-addr ...] schedule -app lu.B.8 -alg cs -pool 0-7,10-21 [-seed 1]
+//	cbesctl [-addr ...] advance  -seconds 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"cbes/internal/service"
+)
+
+type mappingsFlag [][]int
+
+func (m *mappingsFlag) String() string { return fmt.Sprint([][]int(*m)) }
+func (m *mappingsFlag) Set(s string) error {
+	ids, err := parseIDList(s)
+	if err != nil {
+		return err
+	}
+	*m = append(*m, ids)
+	return nil
+}
+
+// parseIDList parses "0,3,5-9" into a node-ID slice.
+func parseIDList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, fmt.Errorf("bad range %q", part)
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil || b < a {
+				return nil, fmt.Errorf("bad range %q", part)
+			}
+			for v := a; v <= b; v++ {
+				out = append(out, v)
+			}
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad id %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty id list %q", s)
+	}
+	return out, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "cbesd address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	verb := flag.Arg(0)
+
+	sub := flag.NewFlagSet(verb, flag.ExitOnError)
+	app := sub.String("app", "", "application name")
+	alg := sub.String("alg", "cs", "scheduler: cs, ncs, rs, ga")
+	pool := sub.String("pool", "", "node pool, e.g. 0-7,10,12")
+	seed := sub.Int64("seed", 1, "scheduler seed")
+	seconds := sub.Float64("seconds", 10, "simulated seconds to advance")
+	explain := sub.Bool("explain", false, "evaluate: show the per-process R/C breakdown")
+	var mappings mappingsFlag
+	sub.Var(&mappings, "mapping", "mapping as node list (repeatable for compare)")
+	if err := sub.Parse(flag.Args()[1:]); err != nil {
+		log.Fatal(err)
+	}
+
+	c, err := service.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	switch verb {
+	case "status":
+		st, err := c.Status()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cluster    : %s (%d nodes)\n", st.Cluster, st.Nodes)
+		fmt.Printf("sim time   : %.1fs\n", st.SimSeconds)
+		fmt.Printf("apps       : %s\n", strings.Join(st.Apps, ", "))
+		fmt.Printf("avail CPU  : %s\n", fmtFloats(st.AvailCPU))
+		fmt.Printf("NIC util   : %s\n", fmtFloats(st.NICUtil))
+	case "evaluate":
+		if *app == "" || len(mappings) != 1 {
+			log.Fatal("evaluate needs -app and exactly one -mapping")
+		}
+		if *explain {
+			r, err := c.Explain(*app, mappings[0])
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(r.Text)
+			break
+		}
+		r, err := c.Evaluate(*app, mappings[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("predicted execution time: %.3fs (critical rank %d)\n", r.Seconds, r.Critical)
+	case "compare":
+		if *app == "" || len(mappings) < 2 {
+			log.Fatal("compare needs -app and at least two -mapping flags")
+		}
+		r, err := c.Compare(*app, mappings)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, s := range r.Seconds {
+			marker := " "
+			if i == r.Best {
+				marker = "*"
+			}
+			fmt.Printf("%s mapping %v: %.3fs\n", marker, mappings[i], s)
+		}
+	case "schedule":
+		if *app == "" || *pool == "" {
+			log.Fatal("schedule needs -app and -pool")
+		}
+		ids, err := parseIDList(*pool)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := c.Schedule(*app, *alg, ids, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mapping   : %v\n", r.Mapping)
+		fmt.Printf("predicted : %.3fs\n", r.Predicted)
+		fmt.Printf("evals     : %d\n", r.Evaluations)
+		fmt.Printf("scheduler : %dms\n", r.SchedulerMillis)
+	case "advance":
+		r, err := c.Advance(*seconds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sim time now %.1fs\n", r.SimSeconds)
+	default:
+		usage()
+	}
+}
+
+func fmtFloats(xs []float64) string {
+	var parts []string
+	for _, x := range xs {
+		parts = append(parts, fmt.Sprintf("%.2f", x))
+	}
+	return strings.Join(parts, " ")
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cbesctl [-addr host:port] status|evaluate|compare|schedule|advance [flags]")
+	os.Exit(2)
+}

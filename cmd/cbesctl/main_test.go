@@ -1,0 +1,30 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIDList(t *testing.T) {
+	cases := map[string][]int{
+		"0":          {0},
+		"0,3,5":      {0, 3, 5},
+		"2-5":        {2, 3, 4, 5},
+		"0-2,7,9-10": {0, 1, 2, 7, 9, 10},
+		" 1 , 2 ":    {1, 2},
+	}
+	for in, want := range cases {
+		got, err := parseIDList(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%q = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "5-2", "1-", "-3", ","} {
+		if _, err := parseIDList(bad); err == nil {
+			t.Fatalf("%q should error", bad)
+		}
+	}
+}

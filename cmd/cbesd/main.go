@@ -1,0 +1,118 @@
+// Command cbesd runs the CBES service daemon: it boots a virtual
+// heterogeneous testbed, performs (or loads) the off-line calibration,
+// profiles the requested applications, and then serves mapping-evaluation
+// and scheduling requests over TCP (net/rpc).
+//
+// Usage:
+//
+//	cbesd [-listen 127.0.0.1:7411] [-cluster grove|centurion] [-db ./cbesdb]
+//	      [-apps lu.B.8,aztec.8,...]
+//
+// Use cbesctl to query the daemon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"cbes"
+	"cbes/internal/bench"
+	"cbes/internal/cluster"
+	"cbes/internal/db"
+	"cbes/internal/service"
+	"cbes/internal/workloads"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7411", "address to serve on")
+	clusterName := flag.String("cluster", "grove", "testbed: grove or centurion")
+	dbDir := flag.String("db", "./cbesdb", "CBES database directory (models/profiles cache)")
+	apps := flag.String("apps", "lu.B.8,aztec.8,hpl.5000.8", "comma-separated application models to profile")
+	flag.Parse()
+
+	var topo *cluster.Topology
+	switch *clusterName {
+	case "grove":
+		topo = cluster.NewOrangeGrove()
+	case "centurion":
+		topo = cluster.NewCenturion()
+	default:
+		log.Fatalf("unknown cluster %q", *clusterName)
+	}
+
+	store, err := db.Open(*dbDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys := cbes.NewSystem(topo, cbes.Config{})
+	defer sys.Close()
+
+	// Load or perform the off-line calibration.
+	if model, err := store.LoadModel(topo.Name); err == nil {
+		if err := sys.UseModel(model); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded calibrated model for %s from %s", topo.Name, store.Dir())
+	} else {
+		log.Printf("calibrating %s (%d nodes)...", topo.Name, topo.NumNodes())
+		model := sys.Calibrate(bench.Options{})
+		if err := store.SaveModel(model); err != nil {
+			log.Printf("warning: could not persist model: %v", err)
+		}
+		log.Printf("calibration done: %d path classes", len(model.Classes))
+	}
+
+	// Profile the requested applications (cached in the store).
+	profMapping := defaultProfilingNodes(topo)
+	for _, name := range strings.Split(*apps, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		prog, err := workloads.Lookup(name)
+		if err != nil {
+			log.Fatalf("%v (kinds: %s; e.g. lu.B.8, hpl.10000.8, smg2000.50.8)",
+				err, strings.Join(workloads.Kinds(), ", "))
+		}
+		if p, err := store.LoadProfile(name); err == nil && p.Cluster == topo.Name {
+			sys.RegisterProfile(p)
+			log.Printf("loaded profile %s from store", name)
+			continue
+		}
+		log.Printf("profiling %s on %d nodes...", name, prog.Ranks)
+		p, err := sys.Profile(prog, profMapping[:prog.Ranks])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := store.SaveProfile(p); err != nil {
+			log.Printf("warning: could not persist profile: %v", err)
+		}
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cbesd: serving %s (%d nodes) on %s, apps: %s\n",
+		topo.Name, topo.NumNodes(), l.Addr(), strings.Join(sys.Apps(), ", "))
+	log.Fatal(service.Serve(sys, l))
+}
+
+// defaultProfilingNodes picks a deterministic profiling mapping: the
+// fastest architecture's nodes first.
+func defaultProfilingNodes(topo *cluster.Topology) []int {
+	var nodes []int
+	for _, a := range []cluster.Arch{cluster.ArchAlpha, cluster.ArchIntel, cluster.ArchSPARC} {
+		nodes = append(nodes, topo.NodesByArch(a)...)
+	}
+	if len(nodes) == 0 {
+		for i := 0; i < topo.NumNodes(); i++ {
+			nodes = append(nodes, i)
+		}
+	}
+	return nodes
+}

@@ -1,0 +1,130 @@
+// Command experiments regenerates the paper's tables and figures on the
+// virtual testbeds.
+//
+// Usage:
+//
+//	experiments [-run all|phase1|fig5|phase3|fig6|table1|table2|fig7|table3|table4|headline|ablations]
+//	            [-scale 0.25] [-seed 42] [-v]
+//
+// -scale 1.0 reproduces paper-sized case counts (slow); the default runs a
+// quarter-scale version whose shapes match.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cbes/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (comma separated), or 'all'")
+	scale := flag.Float64("scale", 0.25, "case-count scale in (0,1]; 1.0 = paper-sized")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	verbose := flag.Bool("v", false, "progress output")
+	csvDir := flag.String("csv", "", "also export results as CSV into this directory")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Verbose: *verbose}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	start := time.Now()
+	lab := experiments.NewLab(cfg)
+
+	type exp struct {
+		name string
+		run  func() string
+	}
+	var t2 *experiments.Table2Result
+	var csvs []experiments.CSVWriter
+	keep := func(r experiments.CSVWriter) { csvs = append(csvs, r) }
+	list := []exp{
+		{"phase1", func() string {
+			r := experiments.Phase1Sweep(lab, cfg)
+			keep(r)
+			return r.Render()
+		}},
+		{"fig5", func() string {
+			r := experiments.Fig5(lab, cfg)
+			keep(r)
+			return r.Render()
+		}},
+		{"phase3", func() string {
+			r := experiments.Phase3LoadSensitivity(lab, cfg)
+			keep(r)
+			return r.Render()
+		}},
+		{"fig6", func() string {
+			r := experiments.Fig6LUZones(lab, cfg)
+			keep(r)
+			return r.Render()
+		}},
+		{"table1", func() string {
+			r := experiments.Table1(lab, cfg)
+			keep(r)
+			return r.Render()
+		}},
+		{"table2", func() string {
+			t2 = experiments.Table2(lab, cfg)
+			keep(t2)
+			return t2.Render()
+		}},
+		{"fig7", func() string {
+			if t2 == nil {
+				t2 = experiments.Table2(lab, cfg)
+			}
+			r := experiments.Fig7(t2)
+			keep(r)
+			return r.Render()
+		}},
+		{"table3", func() string {
+			r := experiments.Table3(lab, cfg)
+			keep(r)
+			return r.Render()
+		}},
+		{"table4", func() string {
+			r := experiments.Table4(lab, cfg)
+			keep(r)
+			return r.Render()
+		}},
+		{"headline", func() string {
+			r := experiments.Headline(lab, cfg)
+			keep(r)
+			return r.Render()
+		}},
+		{"ablations", func() string { return experiments.Ablations(lab, cfg).Render() }},
+	}
+
+	ran := 0
+	for _, e := range list {
+		if !selected(e.name) {
+			continue
+		}
+		t0 := time.Now()
+		out := e.run()
+		fmt.Println(out)
+		fmt.Printf("  [%s took %.1fs]\n\n", e.name, time.Since(t0).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *run)
+		os.Exit(2)
+	}
+	if *csvDir != "" && len(csvs) > 0 {
+		if err := experiments.ExportAll(*csvDir, csvs...); err != nil {
+			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV results exported to %s\n", *csvDir)
+	}
+	fmt.Printf("total: %d experiment(s) in %.1fs (scale %.2f, seed %d)\n",
+		ran, time.Since(start).Seconds(), *scale, *seed)
+}

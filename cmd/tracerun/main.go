@@ -1,0 +1,133 @@
+// Command tracerun executes a workload model on a virtual testbed, prints
+// the per-rank accounting summary and an XMPI-style state timeline, and
+// optionally writes the trace as JSON for later analysis.
+//
+// Usage:
+//
+//	tracerun [-cluster grove|centurion] -app lu.B.8 [-mapping 0-7]
+//	         [-o trace.json] [-width 100] [-load node=avail,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"cbes/internal/cluster"
+	"cbes/internal/des"
+	"cbes/internal/mpisim"
+	"cbes/internal/simnet"
+	"cbes/internal/vcluster"
+	"cbes/internal/workloads"
+)
+
+func main() {
+	clusterName := flag.String("cluster", "grove", "testbed: grove or centurion")
+	app := flag.String("app", "lu.B.8", "workload name (see workloads.Lookup)")
+	mappingFlag := flag.String("mapping", "", "node list, e.g. 0-7 (default: first N nodes)")
+	out := flag.String("o", "", "write the trace as JSON to this file")
+	width := flag.Int("width", 100, "timeline width in columns")
+	loadFlag := flag.String("load", "", "static background load, e.g. 3=0.5,7=0.8")
+	flag.Parse()
+
+	var topo *cluster.Topology
+	switch *clusterName {
+	case "grove":
+		topo = cluster.NewOrangeGrove()
+	case "centurion":
+		topo = cluster.NewCenturion()
+	default:
+		log.Fatalf("unknown cluster %q", *clusterName)
+	}
+
+	prog, err := workloads.Lookup(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mapping := make([]int, prog.Ranks)
+	for i := range mapping {
+		mapping[i] = i
+	}
+	if *mappingFlag != "" {
+		ids, err := parseIDs(*mappingFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(ids) != prog.Ranks {
+			log.Fatalf("mapping has %d nodes, %s needs %d", len(ids), prog.Name, prog.Ranks)
+		}
+		mapping = ids
+	}
+
+	eng := des.NewEngine()
+	vc := vcluster.New(eng, topo)
+	net := simnet.New(eng, topo)
+	if *loadFlag != "" {
+		for _, part := range strings.Split(*loadFlag, ",") {
+			ns, as, ok := strings.Cut(part, "=")
+			if !ok {
+				log.Fatalf("bad -load entry %q", part)
+			}
+			node, err1 := strconv.Atoi(strings.TrimSpace(ns))
+			avail, err2 := strconv.ParseFloat(strings.TrimSpace(as), 64)
+			if err1 != nil || err2 != nil {
+				log.Fatalf("bad -load entry %q", part)
+			}
+			eng.Schedule(0, func() { vc.SetAvailability(node, avail) })
+		}
+	}
+
+	opts := prog.Options()
+	opts.RecordIntervals = true
+	res := mpisim.Run(vc, net, mapping, prog.Body, opts)
+
+	fmt.Print(res.Trace.Summary())
+	fmt.Println()
+	fmt.Print(res.Trace.RenderTimeline(*width))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Trace.Encode(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s\n", *out)
+	}
+}
+
+// parseIDs parses "0,3,5-9" into node IDs.
+func parseIDs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || b < a {
+				return nil, fmt.Errorf("bad range %q", part)
+			}
+			for v := a; v <= b; v++ {
+				out = append(out, v)
+			}
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad id %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

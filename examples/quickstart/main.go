@@ -1,0 +1,72 @@
+// Quickstart: build a virtual heterogeneous cluster, calibrate CBES,
+// profile an application, compare mappings, schedule it, and validate the
+// prediction against an actual (simulated) run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbes"
+	"cbes/internal/bench"
+	"cbes/internal/cluster"
+	"cbes/internal/core"
+	"cbes/internal/workloads"
+)
+
+func main() {
+	// 1. The Orange Grove testbed: 8 Alpha + 12 dual-PII + 8 SPARC over a
+	//    federated switch fabric.
+	topo := cluster.NewOrangeGrove()
+	sys := cbes.NewSystem(topo, cbes.Config{})
+	defer sys.Close()
+
+	// 2. Off-line calibration: ping-pong benchmarks fit the per-path-class
+	//    latency model (once per cluster).
+	model := sys.Calibrate(bench.Options{})
+	fmt.Printf("calibrated %d path classes; small-message latency spread %.0f%%\n",
+		len(model.Classes), model.Spread(64)*100)
+
+	// 3. Profile the application (NPB LU class B on 8 ranks) on the
+	//    high-speed group.
+	prog := workloads.LU(workloads.ClassB, 8)
+	alphas := topo.NodesByArch(cluster.ArchAlpha)
+	prof := sys.MustProfile(prog, alphas)
+	fmt.Printf("profiled %s: communication fraction %.0f%%\n",
+		prog.Name, prof.CommFraction()*100)
+
+	// 4. Compare two hand-picked mappings.
+	sparcs := topo.NodesByArch(cluster.ArchSPARC)
+	good := core.Mapping(alphas)
+	bad := core.Mapping{alphas[0], alphas[1], alphas[2], alphas[3],
+		sparcs[0], sparcs[1], sparcs[2], sparcs[3]}
+	pGood, err := sys.Predict(prog.Name, good)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pBad, _ := sys.Predict(prog.Name, bad)
+	fmt.Printf("predicted: all-Alpha %.1fs vs Alpha+SPARC %.1fs\n",
+		pGood.Seconds, pBad.Seconds)
+
+	// 5. Let the CS scheduler search the whole cluster.
+	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel, cluster.ArchSPARC)
+	dec, err := sys.Schedule(prog.Name, cbes.AlgCS, pool, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CS chose %v (predicted %.1fs, %d evaluations, %v search time)\n",
+		dec.Mapping, dec.Predicted, dec.Evaluations, dec.SchedulerTime)
+
+	// 6. Validate: run the application on the chosen mapping.
+	res := sys.Run(prog, dec.Mapping)
+	actual := res.Elapsed.Seconds()
+	fmt.Printf("actual execution: %.1fs (prediction error %.1f%%)\n",
+		actual, abs(dec.Predicted-actual)/actual*100)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,91 @@
+// Remap: the dynamic-remapping scenario of §2 — an application is scheduled
+// on an idle cluster, background load then appears on its nodes, and the
+// CBES remap advisor re-evaluates between checkpoints: if a new mapping
+// (accounting for current conditions and the migration cost) beats staying,
+// the remainder of the computation is migrated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbes"
+	"cbes/internal/bench"
+	"cbes/internal/cluster"
+	"cbes/internal/core"
+	"cbes/internal/monitor"
+	"cbes/internal/remap"
+	"cbes/internal/workloads"
+)
+
+func main() {
+	topo := cluster.NewOrangeGrove()
+	spec := workloads.SMGIterative(50, 8)
+	prog := spec.Program()
+	alphas := topo.NodesByArch(cluster.ArchAlpha)
+
+	// Calibrate and profile once.
+	sys := cbes.NewSystem(topo, cbes.Config{})
+	defer sys.Close()
+	sys.Calibrate(bench.Options{})
+	sys.MustProfile(prog, alphas)
+	eval, err := sys.Evaluator(prog.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Initial placement on the idle cluster: CS picks (mostly) Alphas.
+	initial, err := sys.Schedule(prog.Name, cbes.AlgCS, sys.Pool(
+		cluster.ArchAlpha, cluster.ArchIntel), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial CS mapping: %v (predicted %.1fs on idle cluster)\n",
+		initial.Mapping, initial.Predicted)
+
+	// Mid-run, background load lands on three of the application's nodes.
+	load := map[int]float64{}
+	for _, n := range initial.Mapping[:3] {
+		load[n] = 0.35
+	}
+	fmt.Printf("load burst: nodes %v drop to availability 0.35\n", initial.Mapping[:3])
+
+	snap := func() *monitor.Snapshot {
+		s := monitor.IdleSnapshot(topo.NumNodes())
+		for n, a := range load {
+			s.AvailCPU[n] = a
+		}
+		return s
+	}
+	runner := &remap.ClusterRunner{Topo: topo, Spec: spec, Load: load}
+	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel)
+
+	// Executor with remapping enabled (checkpoint every quarter of the
+	// iterations; migrating costs 8 s of checkpoint/restart).
+	adv := &remap.Advisor{Eval: eval, Pool: pool, MigrationCost: 8}
+	moved, err := remap.Execute(runner, core.Mapping(initial.Mapping), adv, 4, snap, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: an advisor whose migration cost forbids moving.
+	stayAdv := &remap.Advisor{Eval: eval, Pool: pool, MigrationCost: 1e12}
+	stayed, err := remap.Execute(runner, core.Mapping(initial.Mapping), stayAdv, 4, snap, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nstay on degraded mapping : %.1fs\n", stayed.TotalTime)
+	fmt.Printf("remap between checkpoints: %.1fs (%d migration(s), %v final mapping)\n",
+		moved.TotalTime, moved.Remaps, moved.FinalMap)
+	for _, seg := range moved.Segments {
+		marker := " "
+		if seg.Remapped {
+			marker = "→"
+		}
+		fmt.Printf("  %s iterations [%3d,%3d) on %v: %.1fs\n",
+			marker, seg.From, seg.To, seg.Mapping, seg.Seconds)
+	}
+	gain := stayed.TotalTime - moved.TotalTime
+	fmt.Printf("remapping wins by %.1fs (%.0f%%)\n", gain, gain/stayed.TotalTime*100)
+}

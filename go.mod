@@ -1,0 +1,3 @@
+module cbes
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package anneal provides a generic simulated-annealing minimizer in the
+// style of Metropolis et al. [19] and Numerical Recipes [20], the
+// algorithm behind the default CBES scheduler (§6): the CBES mapping
+// evaluation plays the role of the energy function, and the minimal-energy
+// configuration corresponds to the estimated fastest mapping.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Config tunes the annealing schedule.
+type Config struct {
+	// InitialTemp is the starting temperature. Zero means "auto": the
+	// standard deviation of energies over a short random walk.
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per temperature step
+	// (default 0.92).
+	Cooling float64
+	// StepsPerTemp is the number of proposals per temperature (default 60).
+	StepsPerTemp int
+	// MinTemp stops the schedule when temperature falls below
+	// MinTemp × InitialTemp (default 1e-3).
+	MinTemp float64
+	// MaxEvaluations caps total energy evaluations (default 20000).
+	MaxEvaluations int
+	// Seed drives the proposal and acceptance randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cooling <= 0 || c.Cooling >= 1 {
+		c.Cooling = 0.92
+	}
+	if c.StepsPerTemp <= 0 {
+		c.StepsPerTemp = 60
+	}
+	if c.MinTemp <= 0 {
+		c.MinTemp = 1e-3
+	}
+	if c.MaxEvaluations <= 0 {
+		c.MaxEvaluations = 20000
+	}
+	return c
+}
+
+// Stats reports what the annealer did.
+type Stats struct {
+	Evaluations int
+	Accepted    int
+	Improved    int
+	FinalTemp   float64
+}
+
+// Minimize anneals from the initial state, proposing neighbors and
+// accepting by the Metropolis criterion, and returns the best state seen
+// with its energy and run statistics.
+//
+// The state type S must be treated as immutable by the caller: neighbor
+// must return a fresh state (or a modified copy).
+func Minimize[S any](cfg Config, initial S, energy func(S) float64, neighbor func(S, *rand.Rand) S) (S, float64, Stats) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cur := initial
+	curE := energy(cur)
+	best, bestE := cur, curE
+	st := Stats{Evaluations: 1}
+
+	temp := cfg.InitialTemp
+	if temp <= 0 {
+		temp = autoTemperature(cur, curE, energy, neighbor, rng, &st)
+	}
+	minTemp := temp * cfg.MinTemp
+
+	for temp > minTemp && st.Evaluations < cfg.MaxEvaluations {
+		for i := 0; i < cfg.StepsPerTemp && st.Evaluations < cfg.MaxEvaluations; i++ {
+			cand := neighbor(cur, rng)
+			candE := energy(cand)
+			st.Evaluations++
+			d := candE - curE
+			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				cur, curE = cand, candE
+				st.Accepted++
+				if curE < bestE {
+					best, bestE = cur, curE
+					st.Improved++
+				}
+			}
+		}
+		temp *= cfg.Cooling
+	}
+	st.FinalTemp = temp
+	return best, bestE, st
+}
+
+// autoTemperature estimates a starting temperature as the standard
+// deviation of energy over a short random walk, so that early uphill moves
+// are accepted with reasonable probability.
+func autoTemperature[S any](cur S, curE float64, energy func(S) float64, neighbor func(S, *rand.Rand) S, rng *rand.Rand, st *Stats) float64 {
+	const probes = 24
+	mean, m2 := 0.0, 0.0
+	n := 0.0
+	s := cur
+	e := curE
+	for i := 0; i < probes; i++ {
+		s = neighbor(s, rng)
+		e = energy(s)
+		st.Evaluations++
+		n++
+		d := e - mean
+		mean += d / n
+		m2 += d * (e - mean)
+	}
+	sd := math.Sqrt(m2 / math.Max(1, n-1))
+	if sd <= 0 || math.IsNaN(sd) {
+		sd = math.Abs(curE)*0.1 + 1e-12
+	}
+	return sd
+}

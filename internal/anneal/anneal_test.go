@@ -1,0 +1,95 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic: minimize (x-7)^2 over integers via +-1 moves.
+func TestMinimizeQuadratic(t *testing.T) {
+	energy := func(x int) float64 { d := float64(x - 7); return d * d }
+	neighbor := func(x int, r *rand.Rand) int {
+		if r.Intn(2) == 0 {
+			return x + 1
+		}
+		return x - 1
+	}
+	best, e, st := Minimize(Config{Seed: 1}, 100, energy, neighbor)
+	if best != 7 || e != 0 {
+		t.Fatalf("best = %d (e=%v), want 7", best, e)
+	}
+	if st.Evaluations == 0 || st.Accepted == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// A rugged 1-D landscape with a deep global minimum at 42 among many local
+// minima: SA must escape local traps that greedy descent cannot.
+func TestMinimizeRugged(t *testing.T) {
+	energy := func(x int) float64 {
+		fx := float64(x)
+		return 0.05*math.Abs(fx-42) + 2*math.Pow(math.Sin(fx/3), 2)
+	}
+	neighbor := func(x int, r *rand.Rand) int { return x + r.Intn(13) - 6 }
+	best, _, _ := Minimize(Config{Seed: 3, MaxEvaluations: 60000}, 120, energy, neighbor)
+	if math.Abs(float64(best-42)) > 8 {
+		t.Fatalf("best = %d, want near 42", best)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	energy := func(x int) float64 { d := float64(x - 13); return d*d + math.Sin(float64(x)) }
+	neighbor := func(x int, r *rand.Rand) int { return x + r.Intn(9) - 4 }
+	run := func() (int, float64) {
+		b, e, _ := Minimize(Config{Seed: 9}, 500, energy, neighbor)
+		return b, e
+	}
+	b1, e1 := run()
+	b2, e2 := run()
+	if b1 != b2 || e1 != e2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", b1, e1, b2, e2)
+	}
+}
+
+func TestRespectsEvaluationCap(t *testing.T) {
+	calls := 0
+	energy := func(x int) float64 { calls++; return float64(x * x) }
+	neighbor := func(x int, r *rand.Rand) int { return x + r.Intn(3) - 1 }
+	_, _, st := Minimize(Config{Seed: 1, MaxEvaluations: 100}, 50, energy, neighbor)
+	if st.Evaluations > 100 {
+		t.Fatalf("evaluations = %d > cap", st.Evaluations)
+	}
+	if calls != st.Evaluations {
+		t.Fatalf("calls %d != reported %d", calls, st.Evaluations)
+	}
+}
+
+func TestBestNeverWorseThanInitial(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		energy := func(x int) float64 { return math.Abs(float64(x)) }
+		neighbor := func(x int, r *rand.Rand) int { return x + r.Intn(21) - 10 }
+		init := 1000
+		_, e, _ := Minimize(Config{Seed: seed, MaxEvaluations: 500}, init, energy, neighbor)
+		if e > energy(init) {
+			t.Fatalf("seed %d: best %v worse than initial %v", seed, e, energy(init))
+		}
+	}
+}
+
+func TestConstantEnergyNoCrash(t *testing.T) {
+	energy := func(x int) float64 { return 5 }
+	neighbor := func(x int, r *rand.Rand) int { return x + 1 }
+	_, e, _ := Minimize(Config{Seed: 1, MaxEvaluations: 200}, 0, energy, neighbor)
+	if e != 5 {
+		t.Fatalf("e = %v", e)
+	}
+}
+
+func BenchmarkAnnealQuadratic(b *testing.B) {
+	energy := func(x int) float64 { d := float64(x - 7); return d * d }
+	neighbor := func(x int, r *rand.Rand) int { return x + r.Intn(3) - 1 }
+	for i := 0; i < b.N; i++ {
+		Minimize(Config{Seed: int64(i), MaxEvaluations: 2000}, 100, energy, neighbor)
+	}
+}

@@ -1,0 +1,167 @@
+package batch
+
+import (
+	"testing"
+
+	"cbes"
+	"cbes/internal/bench"
+	"cbes/internal/cluster"
+	"cbes/internal/des"
+	"cbes/internal/workloads"
+)
+
+// slowFirstTopo puts the slow Intel nodes at the low IDs, so a naive
+// boot-list round-robin lands jobs on the worst hardware.
+func slowFirstTopo() *cluster.Topology {
+	b := cluster.NewBuilder("slowfirst")
+	swA := b.Switch("swA", "3com-100", 24)
+	swB := b.Switch("swB", "3com-100", 24)
+	b.Uplink(swA, swB, cluster.BandwidthFast100, 5*des.Microsecond)
+	for i := 0; i < 4; i++ {
+		b.Node("i", cluster.ArchIntel, swA, cluster.BandwidthFast100, 5*des.Microsecond)
+	}
+	for i := 0; i < 4; i++ {
+		b.Node("a", cluster.ArchAlpha, swB, cluster.BandwidthFast100, 5*des.Microsecond)
+	}
+	return b.Build()
+}
+
+func testJobProg() workloads.Program {
+	return workloads.Synthetic(workloads.SyntheticConfig{
+		Ranks: 4, Iterations: 12, ComputePerIter: 0.05, MsgSize: 16 << 10, MsgsPerIter: 1,
+	})
+}
+
+// newBatchSystem calibrates and profiles on a fresh system.
+func newBatchSystem(t *testing.T) (*cbes.System, workloads.Program) {
+	t.Helper()
+	sys := cbes.NewSystem(slowFirstTopo(), cbes.Config{})
+	sys.Calibrate(bench.Options{Reps: 3})
+	prog := testJobProg()
+	sys.MustProfile(prog, []int{4, 5, 6, 7})
+	return sys, prog
+}
+
+func jobs(prog workloads.Program, n int, gap des.Time) []Job {
+	out := make([]Job, n)
+	for i := range out {
+		out[i] = Job{Prog: prog, Submit: des.Time(i) * gap}
+	}
+	return out
+}
+
+func TestRoundRobinCompletesAll(t *testing.T) {
+	sys, prog := newBatchSystem(t)
+	defer sys.Close()
+	rep, err := Run(sys, RoundRobin{}, jobs(prog, 4, des.Second), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 4 {
+		t.Fatalf("jobs = %d", len(rep.Jobs))
+	}
+	for _, r := range rep.Jobs {
+		if r.End <= r.Start || r.Start < r.Submit {
+			t.Fatalf("job %d times inconsistent: %+v", r.ID, r)
+		}
+	}
+	if rep.Makespan <= 0 || rep.MeanTurnaround <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestSpaceSharingNeverOverlapsNodes(t *testing.T) {
+	sys, prog := newBatchSystem(t)
+	defer sys.Close()
+	rep, err := Run(sys, RoundRobin{}, jobs(prog, 5, des.Millisecond), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any two jobs overlapping in time must use disjoint nodes.
+	for i, a := range rep.Jobs {
+		for _, b := range rep.Jobs[i+1:] {
+			if a.Start < b.End && b.Start < a.End {
+				used := map[int]bool{}
+				for _, n := range a.Mapping {
+					used[n] = true
+				}
+				for _, n := range b.Mapping {
+					if used[n] {
+						t.Fatalf("jobs %d and %d share node %d while overlapping", a.ID, b.ID, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	sys, prog := newBatchSystem(t)
+	defer sys.Close()
+	// 8 nodes, 4 ranks per job: at most 2 concurrent; 4 jobs submitted at
+	// once must queue and start in order.
+	rep, err := Run(sys, RoundRobin{}, jobs(prog, 4, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := 0
+	for i := 1; i < len(rep.Jobs); i++ {
+		if rep.Jobs[i].Start < rep.Jobs[i-1].Start {
+			t.Fatalf("FIFO violated: job %d started before job %d", i, i-1)
+		}
+	}
+	for _, r := range rep.Jobs {
+		if r.Wait() > 0 {
+			queued++
+		}
+	}
+	if queued == 0 {
+		t.Fatal("no job ever queued despite oversubscription")
+	}
+}
+
+func TestCBESBeatsNaivePolicies(t *testing.T) {
+	prog := testJobProg()
+	run := func(p Policy) *Report {
+		sys := cbes.NewSystem(slowFirstTopo(), cbes.Config{})
+		defer sys.Close()
+		sys.Calibrate(bench.Options{Reps: 3})
+		sys.MustProfile(prog, []int{4, 5, 6, 7})
+		rep, err := Run(sys, p, jobs(prog, 3, 30*des.Second), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rr := run(RoundRobin{})
+	fn := run(FastestNodes{})
+	cb := run(CBESPolicy{})
+	// Round-robin lands on the slow low-ID Intels; CBES must beat it
+	// clearly, and must be at least as good as the speed-aware heuristic.
+	if float64(cb.MeanTurnaround) > float64(rr.MeanTurnaround)*0.92 {
+		t.Fatalf("CBES %v not clearly better than round-robin %v",
+			cb.MeanTurnaround, rr.MeanTurnaround)
+	}
+	if float64(cb.MeanTurnaround) > float64(fn.MeanTurnaround)*1.02 {
+		t.Fatalf("CBES %v worse than fastest-nodes %v", cb.MeanTurnaround, fn.MeanTurnaround)
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	sys, prog := newBatchSystem(t)
+	defer sys.Close()
+	big := workloads.Synthetic(workloads.SyntheticConfig{
+		Ranks: 9, Iterations: 2, ComputePerIter: 0.01, MsgSize: 1024, MsgsPerIter: 1,
+	})
+	if _, err := Run(sys, RoundRobin{}, []Job{{Prog: big}}, 1); err == nil {
+		t.Fatal("job larger than the cluster should fail")
+	}
+	// CBES policy on an unprofiled program must error.
+	other := workloads.Synthetic(workloads.SyntheticConfig{
+		Ranks: 2, Iterations: 2, ComputePerIter: 0.01, MsgSize: 1 << 20, MsgsPerIter: 1,
+	})
+	if _, err := Run(sys, CBESPolicy{}, []Job{{Prog: other}}, 1); err == nil {
+		t.Fatal("unprofiled program should fail under the CBES policy")
+	}
+	_ = prog
+}

@@ -1,0 +1,36 @@
+package batch
+
+import (
+	"testing"
+
+	"cbes"
+	"cbes/internal/bench"
+	"cbes/internal/des"
+	"cbes/internal/netmodel"
+)
+
+// BenchmarkBatchQueueCBES measures a 6-job stream placed by the CBES
+// policy on the live cluster — the workload-manager integration path.
+func BenchmarkBatchQueueCBES(b *testing.B) {
+	prog := testJobProg()
+	var model *netmodel.Model
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := cbes.NewSystem(slowFirstTopo(), cbes.Config{})
+		if model == nil {
+			model = sys.Calibrate(bench.Options{Reps: 3})
+		} else if err := sys.UseModel(model); err != nil {
+			b.Fatal(err)
+		}
+		sys.MustProfile(prog, []int{4, 5, 6, 7})
+		js := jobs(prog, 6, des.Second)
+		b.StartTimer()
+		if _, err := Run(sys, CBESPolicy{}, js, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		sys.Close()
+		b.StartTimer()
+	}
+}

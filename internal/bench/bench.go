@@ -1,0 +1,327 @@
+// Package bench implements the off-line calibration phase of CBES (§2):
+// MPI-style ping-pong benchmarks that measure end-to-end internode latency
+// over a range of message sizes, fit the per-path-class no-load latency
+// curves and load coefficients of the network model, and measure
+// application compute-speed ratios across architectures.
+//
+// Calibration "must take place on a computation- and communication-free
+// system"; serial calibration therefore uses a fresh idle virtual cluster
+// per measurement. The clique-parallel mode reproduces the paper's trick
+// for cutting the O(N²) initialization time: benchmarks whose routes share
+// no link (and no node) run concurrently without invalidating each other.
+package bench
+
+import (
+	"fmt"
+
+	"cbes/internal/cluster"
+	"cbes/internal/des"
+	"cbes/internal/mpisim"
+	"cbes/internal/netmodel"
+	"cbes/internal/simnet"
+	"cbes/internal/vcluster"
+)
+
+// DefaultSizes are the calibration message sizes.
+var DefaultSizes = []int64{64, 1 << 10, 8 << 10, 64 << 10, 256 << 10}
+
+// Options tunes calibration.
+type Options struct {
+	// Sizes are the message sizes to calibrate at (DefaultSizes if nil).
+	Sizes []int64
+	// Reps is the number of ping-pong round trips per measurement
+	// (default 10).
+	Reps int
+	// AllPairs measures every ordered pair instead of one representative
+	// pair per path class. O(N²) instead of O(classes); used to validate
+	// the class approximation.
+	AllPairs bool
+	// LoadLevel is the controlled CPU availability used when fitting the
+	// load coefficients (default 0.5). Set SkipLoadFit to skip that phase.
+	LoadLevel   float64
+	SkipLoadFit bool
+}
+
+func (o Options) sizes() []int64 {
+	if len(o.Sizes) > 0 {
+		return o.Sizes
+	}
+	return DefaultSizes
+}
+
+func (o Options) reps() int {
+	if o.Reps > 0 {
+		return o.Reps
+	}
+	return 10
+}
+
+func (o Options) loadLevel() float64 {
+	if o.LoadLevel > 0 && o.LoadLevel < 1 {
+		return o.LoadLevel
+	}
+	return 0.5
+}
+
+// Pair is an ordered benchmark endpoint pair (Src == Dst measures the
+// loopback/co-location path).
+type Pair struct{ Src, Dst int }
+
+// pingPongBody returns the 2-rank benchmark program. Receives are
+// effectively pre-posted (the paper notes calibration benchmarks minimize
+// overhead): the protocol alternates strictly.
+func pingPongBody(size int64, reps int) func(*mpisim.Rank) {
+	return func(r *mpisim.Rank) {
+		for k := 0; k < reps; k++ {
+			if r.ID() == 0 {
+				r.Send(1, size)
+				r.Recv(1)
+			} else {
+				r.Recv(0)
+				r.Send(0, size)
+			}
+		}
+	}
+}
+
+// MeasurePairLatency runs a ping-pong between src and dst on a fresh, idle
+// instance of topo and returns the mean one-way latency in seconds. With
+// loadAvail < 1 the src node is held at that CPU availability (used for
+// coefficient fitting).
+func MeasurePairLatency(topo *cluster.Topology, src, dst int, size int64, reps int, loadAvail float64) float64 {
+	eng := des.NewEngine()
+	vc := vcluster.New(eng, topo)
+	net := simnet.New(eng, topo)
+	if loadAvail > 0 && loadAvail < 1 {
+		eng.Schedule(0, func() { vc.SetAvailability(src, loadAvail) })
+	}
+	var mapping []int
+	if src == dst {
+		mapping = []int{src, src}
+	} else {
+		mapping = []int{src, dst}
+	}
+	res := mpisim.Run(vc, net, mapping, pingPongBody(size, reps), mpisim.Options{AppName: "pingpong"})
+	return res.Elapsed.Seconds() / float64(2*reps)
+}
+
+// classRepresentatives returns one ordered pair per path-signature class,
+// plus the pair count per class.
+func classRepresentatives(topo *cluster.Topology) (map[string]Pair, map[string]int) {
+	rep := map[string]Pair{}
+	count := map[string]int{}
+	n := topo.NumNodes()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sig := topo.PathSignature(i, j)
+			count[sig]++
+			if _, ok := rep[sig]; !ok {
+				rep[sig] = Pair{i, j}
+			}
+		}
+	}
+	return rep, count
+}
+
+// Calibrate builds the network latency model for topo by serial
+// measurement (each benchmark on its own idle cluster instance).
+func Calibrate(topo *cluster.Topology, opts Options) *netmodel.Model {
+	model := netmodel.New(topo)
+	sizes := opts.sizes()
+	reps := opts.reps()
+
+	reps95 := func(src, dst int) netmodel.Curve {
+		curve := netmodel.Curve{Sizes: append([]int64(nil), sizes...)}
+		for _, s := range sizes {
+			curve.Lat = append(curve.Lat, MeasurePairLatency(topo, src, dst, s, reps, 1.0))
+		}
+		return curve
+	}
+
+	if opts.AllPairs {
+		// Full O(N²) calibration: per-pair curves aggregated per class by
+		// averaging (the class still keys the lookup).
+		_, counts := classRepresentatives(topo)
+		type agg struct {
+			lat []float64
+			n   int
+		}
+		aggs := map[string]*agg{}
+		n := topo.NumNodes()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sig := topo.PathSignature(i, j)
+				a, ok := aggs[sig]
+				if !ok {
+					a = &agg{lat: make([]float64, len(sizes))}
+					aggs[sig] = a
+				}
+				c := reps95(i, j)
+				for k := range sizes {
+					a.lat[k] += c.Lat[k]
+				}
+				a.n++
+			}
+		}
+		for sig, a := range aggs {
+			curve := netmodel.Curve{Sizes: append([]int64(nil), sizes...), Lat: make([]float64, len(sizes))}
+			for k := range sizes {
+				curve.Lat[k] = a.lat[k] / float64(a.n)
+			}
+			model.SetClass(sig, netmodel.Class{Curve: curve, Pairs: counts[sig]})
+		}
+	} else {
+		representatives, counts := classRepresentatives(topo)
+		for sig, p := range representatives {
+			model.SetClass(sig, netmodel.Class{Curve: reps95(p.Src, p.Dst), Pairs: counts[sig]})
+		}
+	}
+
+	if !opts.SkipLoadFit {
+		fitLoadCoefficients(topo, model, opts)
+	}
+	return model
+}
+
+// fitLoadCoefficients measures, per class, the latency inflation when one
+// endpoint runs at reduced CPU availability, and stores the linear
+// coefficients CSend/CRecv.
+func fitLoadCoefficients(topo *cluster.Topology, model *netmodel.Model, opts Options) {
+	repPairs, _ := classRepresentatives(topo)
+	a := opts.loadLevel()
+	x := 1/a - 1
+	size := opts.sizes()[0] // small messages: the CPU-bound regime
+	reps := opts.reps()
+	for sig, p := range repPairs {
+		cl := model.Classes[sig]
+		idle := cl.Curve.At(size)
+		loadedSrc := MeasurePairLatency(topo, p.Src, p.Dst, size, reps, a)
+		c := (loadedSrc - idle) / x
+		if c < 0 {
+			c = 0
+		}
+		// Ping-pong symmetry folds send and receive costs together; use the
+		// same coefficient for both ends (see package doc).
+		cl.CSend = c
+		cl.CRecv = c
+		model.SetClass(sig, cl)
+	}
+}
+
+// MeasureArchSpeeds runs a single-rank compute probe of probeRef reference
+// seconds on one node of each architecture and returns the measured speed
+// ratios relative to the reference (the "experimentally measured speed
+// ratios for all cluster node architectures" the application profile
+// carries). archEff supplies the application's per-architecture efficiency
+// multipliers (nil for a neutral probe).
+func MeasureArchSpeeds(topo *cluster.Topology, archEff map[cluster.Arch]float64, probeRef float64) map[cluster.Arch]float64 {
+	if probeRef <= 0 {
+		probeRef = 0.5
+	}
+	out := map[cluster.Arch]float64{}
+	for _, a := range topo.Archs() {
+		nodes := topo.NodesByArch(a)
+		if len(nodes) == 0 {
+			continue
+		}
+		eng := des.NewEngine()
+		vc := vcluster.New(eng, topo)
+		net := simnet.New(eng, topo)
+		res := mpisim.Run(vc, net, []int{nodes[0]}, func(r *mpisim.Rank) {
+			r.Compute(probeRef)
+		}, mpisim.Options{AppName: "speedprobe", ArchEff: archEff})
+		out[a] = probeRef / res.Elapsed.Seconds()
+	}
+	return out
+}
+
+// PlanRounds greedily packs ordered pairs into rounds whose benchmarks are
+// mutually non-interfering at measurement accuracy: within a round no two
+// pairs share a node (which also keeps edge links exclusive). Shared trunk
+// links may carry several concurrent small-message benchmarks — the same
+// compromise real clique-controlled calibrations make, since every
+// cross-switch path crosses the core. This is the clique control that cuts
+// the O(N²) serial calibration time to O(N)-ish wall-clock.
+func PlanRounds(topo *cluster.Topology, pairs []Pair) [][]Pair {
+	return planRounds(topo, pairs, false)
+}
+
+// PlanRoundsStrict packs pairs into rounds with fully link-disjoint routes:
+// zero interference even for bandwidth-saturating sizes, at the cost of
+// more rounds (paths through a shared trunk serialize).
+func PlanRoundsStrict(topo *cluster.Topology, pairs []Pair) [][]Pair {
+	return planRounds(topo, pairs, true)
+}
+
+func planRounds(topo *cluster.Topology, pairs []Pair, strict bool) [][]Pair {
+	remaining := append([]Pair(nil), pairs...)
+	var rounds [][]Pair
+	for len(remaining) > 0 {
+		usedLink := map[int]bool{}
+		usedNode := map[int]bool{}
+		var round, next []Pair
+		for _, p := range remaining {
+			ok := !usedNode[p.Src] && !usedNode[p.Dst]
+			if ok && strict {
+				for _, l := range topo.Path(p.Src, p.Dst) {
+					if usedLink[l] {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				next = append(next, p)
+				continue
+			}
+			usedNode[p.Src] = true
+			usedNode[p.Dst] = true
+			if strict {
+				for _, l := range topo.Path(p.Src, p.Dst) {
+					usedLink[l] = true
+				}
+			}
+			round = append(round, p)
+		}
+		rounds = append(rounds, round)
+		remaining = next
+	}
+	return rounds
+}
+
+// ParallelMeasurement is one pair's measured latency from a clique round.
+type ParallelMeasurement struct {
+	Pair    Pair
+	Size    int64
+	Latency float64 // one-way seconds
+}
+
+// MeasureRoundsParallel executes the planned rounds on a single engine,
+// running all benchmarks of a round concurrently, and returns every
+// measurement plus the total simulated wall-clock the calibration took.
+func MeasureRoundsParallel(topo *cluster.Topology, rounds [][]Pair, size int64, reps int) ([]ParallelMeasurement, des.Time) {
+	eng := des.NewEngine()
+	vc := vcluster.New(eng, topo)
+	net := simnet.New(eng, topo)
+	var out []ParallelMeasurement
+	start := eng.Now()
+	for _, round := range rounds {
+		worlds := make([]*mpisim.World, len(round))
+		for i, p := range round {
+			mapping := []int{p.Src, p.Dst}
+			if p.Src == p.Dst {
+				mapping = []int{p.Src, p.Src}
+			}
+			worlds[i] = mpisim.Launch(vc, net, mapping, pingPongBody(size, reps), mpisim.Options{AppName: fmt.Sprintf("pp-%d-%d", p.Src, p.Dst)})
+		}
+		for i, w := range worlds {
+			res := w.Wait()
+			out = append(out, ParallelMeasurement{
+				Pair:    round[i],
+				Size:    size,
+				Latency: res.Elapsed.Seconds() / float64(2*reps),
+			})
+		}
+	}
+	return out, eng.Now() - start
+}

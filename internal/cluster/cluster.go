@@ -1,0 +1,247 @@
+// Package cluster describes heterogeneous cluster topologies: nodes of
+// several hardware architectures attached to a switched network fabric.
+//
+// It provides faithful descriptions of the two testbeds used in the paper —
+// the 128-node Centurion configuration at the University of Virginia
+// (fig. 3) and the 28-node rewired Orange Grove cluster at Syracuse
+// University (fig. 4) — plus a Builder for constructing arbitrary
+// topologies in tests and examples.
+//
+// A Topology is purely static: the dynamic behaviour (contention, load,
+// timesharing) lives in internal/simnet and internal/vcluster.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cbes/internal/des"
+)
+
+// Arch identifies a node hardware architecture.
+type Arch string
+
+// Architectures present in the paper's two clusters.
+const (
+	ArchAlpha Arch = "alpha"   // 533 MHz Alpha, single CPU
+	ArchIntel Arch = "intel"   // 400 MHz dual Pentium II
+	ArchSPARC Arch = "sparc"   // 500 MHz SPARC, single CPU
+	ArchRef   Arch = "refnode" // synthetic reference architecture (speed 1.0)
+)
+
+// ArchInfo carries the static performance characteristics of an
+// architecture. Speed is relative to the reference profiling node
+// (ArchAlpha = 1.0 in both paper clusters); the per-message software
+// overheads model the MPI library and NIC driver path and are the
+// CPU-load-sensitive component of end-to-end latency.
+type ArchInfo struct {
+	Arch         Arch
+	Speed        float64  // relative compute speed, reference = 1.0
+	CPUs         int      // processors per node
+	SendOverhead des.Time // per-message CPU cost on the sender
+	RecvOverhead des.Time // per-message CPU cost on the receiver
+}
+
+// DefaultArchInfo returns the calibrated characteristics used for the
+// paper's architectures. The speed ratios are chosen so that the three
+// Orange Grove execution-time zones of fig. 6 (high = Alpha-only,
+// medium = Alpha+Intel, low = Alpha+Intel+SPARC) reproduce.
+func DefaultArchInfo(a Arch) ArchInfo {
+	switch a {
+	case ArchAlpha:
+		return ArchInfo{Arch: a, Speed: 1.0, CPUs: 1, SendOverhead: 32 * des.Microsecond, RecvOverhead: 36 * des.Microsecond}
+	case ArchIntel:
+		return ArchInfo{Arch: a, Speed: 0.78, CPUs: 2, SendOverhead: 38 * des.Microsecond, RecvOverhead: 42 * des.Microsecond}
+	case ArchSPARC:
+		return ArchInfo{Arch: a, Speed: 0.60, CPUs: 1, SendOverhead: 52 * des.Microsecond, RecvOverhead: 58 * des.Microsecond}
+	case ArchRef:
+		return ArchInfo{Arch: a, Speed: 1.0, CPUs: 1, SendOverhead: 30 * des.Microsecond, RecvOverhead: 34 * des.Microsecond}
+	default:
+		panic(fmt.Sprintf("cluster: unknown architecture %q", a))
+	}
+}
+
+// Node is one cluster machine.
+type Node struct {
+	ID     int     // dense index, 0..N-1
+	Name   string  // e.g. "centurion-a07"
+	Arch   Arch    // hardware architecture
+	Switch int     // edge switch the node's NIC connects to
+	Speed  float64 // relative compute speed (copied from ArchInfo, overridable)
+	CPUs   int     // processors
+}
+
+// Switch is a network switch (or a stack functioning as one).
+type Switch struct {
+	ID    int
+	Name  string
+	Ports int
+	Class string // e.g. "3com-100", "3com-1200", "dlink-100"; part of path signatures
+}
+
+// DeviceKind distinguishes the two vertex types of the fabric graph.
+type DeviceKind int
+
+// Device kinds.
+const (
+	DevNode DeviceKind = iota
+	DevSwitch
+)
+
+// Device addresses a vertex in the fabric graph.
+type Device struct {
+	Kind  DeviceKind
+	Index int // Node.ID or Switch.ID
+}
+
+func (d Device) String() string {
+	if d.Kind == DevNode {
+		return fmt.Sprintf("node%d", d.Index)
+	}
+	return fmt.Sprintf("switch%d", d.Index)
+}
+
+// Link is an undirected full-duplex cable between two devices.
+type Link struct {
+	ID        int
+	A, B      Device
+	Bandwidth float64  // bytes per second per direction
+	Latency   des.Time // propagation + store-and-forward latency per traversal
+	Name      string
+}
+
+// Bandwidth constants in bytes/second.
+const (
+	BandwidthFast100 = 100e6 / 8  // Fast Ethernet, 100 Mb/s
+	BandwidthGig1200 = 1200e6 / 8 // 3Com 1.2 Gb/s core switch uplink
+)
+
+// Topology is an immutable cluster description with precomputed
+// node-to-node routing.
+type Topology struct {
+	Name     string
+	Nodes    []Node
+	Switches []Switch
+	Links    []Link
+	archs    map[Arch]ArchInfo
+	// routes[src][dst] is the ordered list of link IDs a message traverses.
+	routes [][][]int
+}
+
+// NumNodes reports the number of nodes.
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// ArchInfo returns the architecture characteristics table entry for a.
+func (t *Topology) ArchInfo(a Arch) ArchInfo {
+	ai, ok := t.archs[a]
+	if !ok {
+		return DefaultArchInfo(a)
+	}
+	return ai
+}
+
+// Node returns the node with the given ID.
+func (t *Topology) Node(id int) *Node { return &t.Nodes[id] }
+
+// NodeName returns the node's name, or "node<id>" out of range.
+func (t *Topology) NodeName(id int) string {
+	if id < 0 || id >= len(t.Nodes) {
+		return fmt.Sprintf("node%d", id)
+	}
+	return t.Nodes[id].Name
+}
+
+// Path returns the ordered link IDs a message from src to dst traverses.
+// The path for src == dst is empty (loopback).
+func (t *Topology) Path(src, dst int) []int { return t.routes[src][dst] }
+
+// Hops reports the number of links between two nodes.
+func (t *Topology) Hops(src, dst int) int { return len(t.routes[src][dst]) }
+
+// PathSignature returns a string that classifies the route between two
+// nodes by the architectures at its ends and the classes of the devices it
+// crosses. All node pairs with equal signatures share (to first order) the
+// same no-load latency curve; this is the basis of the paper's O(N)
+// resource-availability approximation.
+func (t *Topology) PathSignature(src, dst int) string {
+	if src == dst {
+		return "loop|" + string(t.Nodes[src].Arch)
+	}
+	var sb strings.Builder
+	sb.WriteString(string(t.Nodes[src].Arch))
+	at := Device{DevNode, src}
+	for _, lid := range t.routes[src][dst] {
+		l := t.Links[lid]
+		far := l.B
+		if far == at {
+			far = l.A
+		}
+		fmt.Fprintf(&sb, "|%.0fMb", l.Bandwidth*8/1e6)
+		if far.Kind == DevSwitch {
+			sb.WriteString("|" + t.Switches[far.Index].Class)
+		}
+		at = far
+	}
+	sb.WriteString("|" + string(t.Nodes[dst].Arch))
+	return sb.String()
+}
+
+// NodesByArch returns the IDs of all nodes of the given architecture, in
+// increasing ID order.
+func (t *Topology) NodesByArch(a Arch) []int {
+	var ids []int
+	for _, n := range t.Nodes {
+		if n.Arch == a {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// NodesOnSwitch returns the IDs of all nodes attached to the given edge
+// switch, in increasing ID order.
+func (t *Topology) NodesOnSwitch(sw int) []int {
+	var ids []int
+	for _, n := range t.Nodes {
+		if n.Switch == sw {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Archs returns the distinct architectures present, sorted by name.
+func (t *Topology) Archs() []Arch {
+	seen := map[Arch]bool{}
+	for _, n := range t.Nodes {
+		seen[n.Arch] = true
+	}
+	var out []Arch
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks structural invariants: every node attached to an existing
+// switch and reachable from every other node.
+func (t *Topology) Validate() error {
+	for _, n := range t.Nodes {
+		if n.Switch < 0 || n.Switch >= len(t.Switches) {
+			return fmt.Errorf("cluster: node %d references missing switch %d", n.ID, n.Switch)
+		}
+		if n.CPUs <= 0 || n.Speed <= 0 {
+			return fmt.Errorf("cluster: node %d has invalid CPUs/Speed", n.ID)
+		}
+	}
+	for i := range t.Nodes {
+		for j := range t.Nodes {
+			if i != j && t.routes[i][j] == nil {
+				return fmt.Errorf("cluster: no route between node %d and node %d", i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the topology as a Graphviz document: switches as boxes
+// (D-Link-class devices shaded to flag the limited-capacity federation
+// path), nodes as ellipses colored by architecture, and links labeled with
+// their bandwidth. Useful for documenting rewired testbeds.
+func (t *Topology) ToDOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n", t.Name)
+	sb.WriteString("  layout=neato; overlap=false; splines=true;\n")
+
+	for _, sw := range t.Switches {
+		style := ""
+		if strings.Contains(sw.Class, "dlink") {
+			style = ", style=filled, fillcolor=lightgray"
+		}
+		fmt.Fprintf(&sb, "  sw%d [shape=box, label=%q%s];\n", sw.ID, sw.Name, style)
+	}
+
+	colors := map[Arch]string{
+		ArchAlpha: "lightblue",
+		ArchIntel: "lightyellow",
+		ArchSPARC: "lightpink",
+		ArchRef:   "white",
+	}
+	for _, n := range t.Nodes {
+		color, ok := colors[n.Arch]
+		if !ok {
+			color = "white"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q, style=filled, fillcolor=%s];\n",
+			n.ID, n.Name, color)
+	}
+
+	links := append([]Link(nil), t.Links...)
+	sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+	for _, l := range links {
+		fmt.Fprintf(&sb, "  %s -- %s [label=\"%.0fMb\"];\n",
+			dotID(l.A), dotID(l.B), l.Bandwidth*8/1e6)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func dotID(d Device) string {
+	if d.Kind == DevNode {
+		return fmt.Sprintf("n%d", d.Index)
+	}
+	return fmt.Sprintf("sw%d", d.Index)
+}

@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToDOT(t *testing.T) {
+	g := NewOrangeGrove()
+	dot := g.ToDOT()
+	if !strings.HasPrefix(dot, "graph \"orange-grove\"") {
+		t.Fatalf("header: %q", dot[:40])
+	}
+	// All devices present.
+	for _, sw := range g.Switches {
+		if !strings.Contains(dot, sw.Name) {
+			t.Fatalf("switch %s missing", sw.Name)
+		}
+	}
+	if got := strings.Count(dot, " -- "); got != len(g.Links) {
+		t.Fatalf("%d edges, want %d", got, len(g.Links))
+	}
+	// D-Links flagged as the limited-capacity path.
+	if strings.Count(dot, "fillcolor=lightgray") != 2 {
+		t.Fatal("D-Link switches not shaded")
+	}
+	// Architectures colored.
+	for _, c := range []string{"lightblue", "lightyellow", "lightpink"} {
+		if !strings.Contains(dot, c) {
+			t.Fatalf("color %s missing", c)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("unterminated graph")
+	}
+}

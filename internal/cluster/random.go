@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cbes/internal/des"
+)
+
+// RandomSpec bounds the random-topology generator.
+type RandomSpec struct {
+	// MaxSwitches caps the edge-switch count (minimum 1; default 4).
+	MaxSwitches int
+	// MaxNodesPerSwitch caps nodes per switch (minimum 1; default 6).
+	MaxNodesPerSwitch int
+	// Archs to draw from (default: the three paper architectures).
+	Archs []Arch
+}
+
+func (s RandomSpec) withDefaults() RandomSpec {
+	if s.MaxSwitches <= 0 {
+		s.MaxSwitches = 4
+	}
+	if s.MaxNodesPerSwitch <= 0 {
+		s.MaxNodesPerSwitch = 6
+	}
+	if len(s.Archs) == 0 {
+		s.Archs = []Arch{ArchAlpha, ArchIntel, ArchSPARC}
+	}
+	return s
+}
+
+// NewRandom generates a random connected heterogeneous topology — edge
+// switches joined by a random spanning tree plus occasional extra trunks,
+// each hosting a random mix of architectures. Deterministic for a fixed
+// seed; used by fuzz/property tests to exercise calibration, routing, and
+// evaluation on shapes beyond the two paper testbeds.
+func NewRandom(seed int64, spec RandomSpec) *Topology {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(fmt.Sprintf("random-%d", seed))
+
+	nsw := 1 + rng.Intn(spec.MaxSwitches)
+	sws := make([]int, nsw)
+	for i := range sws {
+		class := "3com-100"
+		if rng.Intn(4) == 0 {
+			class = "dlink-100"
+		}
+		sws[i] = b.Switch(fmt.Sprintf("sw%d", i), class, 48)
+	}
+	// Random spanning tree keeps the fabric connected.
+	for i := 1; i < nsw; i++ {
+		parent := sws[rng.Intn(i)]
+		lat := des.Time(3+rng.Intn(15)) * des.Microsecond
+		b.Uplink(sws[i], parent, BandwidthFast100, lat)
+	}
+	// Occasional extra trunk.
+	if nsw > 2 && rng.Intn(2) == 0 {
+		a, c := rng.Intn(nsw), rng.Intn(nsw)
+		if a != c {
+			b.Uplink(sws[a], sws[c], BandwidthGig1200, 2*des.Microsecond)
+		}
+	}
+
+	id := 0
+	for _, sw := range sws {
+		n := 1 + rng.Intn(spec.MaxNodesPerSwitch)
+		for k := 0; k < n; k++ {
+			arch := spec.Archs[rng.Intn(len(spec.Archs))]
+			b.Node(fmt.Sprintf("r%02d", id), arch, sw, BandwidthFast100,
+				des.Time(3+rng.Intn(6))*des.Microsecond)
+			id++
+		}
+	}
+	return b.Build()
+}

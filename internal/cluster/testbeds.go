@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+
+	"cbes/internal/des"
+)
+
+// Per-hop latencies for the fabrics of the two testbeds. The 3Com values
+// are chosen so that the spread between the fastest and slowest node-pair
+// latency matches the paper: ≈13 % on Centurion (same-switch vs. through
+// the gigabit core) and ≈54 % on Orange Grove (same-switch vs. across the
+// two-D-Link federation link).
+const (
+	hop3Com  = 5 * des.Microsecond  // 3Com 24-port store-and-forward hop
+	hopCore  = 5 * des.Microsecond  // 3Com 1.2 Gb/s core switch hop
+	hopDLink = 10 * des.Microsecond // D-Link 8-port hop (federation path)
+)
+
+// NewCenturion builds the experimental Centurion configuration of fig. 3:
+// 128 primary nodes — 32 Alpha 533 MHz and 96 dual-PII 400 MHz — spread
+// evenly over eight 3Com 24-port 100 Mb/s edge switches (#04–#11), each
+// uplinked to a 3Com 1.2 Gb/s core switch (#00). Each edge switch hosts
+// 4 Alpha and 12 Intel nodes.
+func NewCenturion() *Topology {
+	b := NewBuilder("centurion")
+	core := b.Switch("3com-giga-00", "3com-1200", 12)
+	for s := 0; s < 8; s++ {
+		sw := b.Switch(fmt.Sprintf("3com-%02d", s+4), "3com-100", 24)
+		b.Uplink(sw, core, BandwidthGig1200, hopCore)
+		for i := 0; i < 4; i++ {
+			b.Node(fmt.Sprintf("a%02d", s*4+i), ArchAlpha, sw, BandwidthFast100, hop3Com)
+		}
+		for i := 0; i < 12; i++ {
+			b.Node(fmt.Sprintf("i%02d", s*12+i), ArchIntel, sw, BandwidthFast100, hop3Com)
+		}
+	}
+	return b.Build()
+}
+
+// NewOrangeGrove builds the rewired Orange Grove cluster of fig. 4: 28
+// nodes — 8 single-CPU 533 MHz Alpha, 8 single-CPU 500 MHz SPARC, and 12
+// dual-CPU 400 MHz Pentium II — on five 3Com 24-port 100 Mb/s switches
+// (two of them stacked and functioning as one 48-port switch) and two
+// D-Link 8-port 100 Mb/s switches. The two D-Links in series form the
+// limited-capacity link that makes the topology emulate a federation of
+// two elementary clusters:
+//
+//	east: stack(3Com 00+01): 4 Alpha + 6 Intel
+//	      3Com 02: 4 Alpha              — reaches the stack through D-Link A
+//	west: 3Com 10: 4 SPARC + 3 Intel    — reaches the stack through D-Link B
+//	      3Com 11: 4 SPARC + 3 Intel    — behind 3Com 10
+//
+// The two cheap D-Link switches are the limited-capacity links that make
+// the topology emulate a federation of elementary clusters. Every
+// architecture group spans a D-Link boundary (the Alphas across D-Link A,
+// the Intels across the whole federation path), so even
+// architecture-homogeneous node groups expose internode-latency variation
+// — the property behind the widths of the fig. 6 execution-time zones and
+// the within-group speedups of table 1.
+func NewOrangeGrove() *Topology {
+	b := NewBuilder("orange-grove")
+	stack := b.Switch("3com-stack-00-01", "3com-100", 48)
+	east2 := b.Switch("3com-02", "3com-100", 24)
+	westS := b.Switch("3com-10", "3com-100", 24)
+	westI := b.Switch("3com-11", "3com-100", 24)
+	dlA := b.Switch("dlink-a", "dlink-100", 8)
+	dlB := b.Switch("dlink-b", "dlink-100", 8)
+
+	b.Uplink(east2, dlA, BandwidthFast100, hopDLink)
+	b.Uplink(dlA, stack, BandwidthFast100, hopDLink)
+	b.Uplink(stack, dlB, BandwidthFast100, hopDLink)
+	b.Uplink(dlB, westS, BandwidthFast100, hopDLink)
+	b.Uplink(westI, westS, BandwidthFast100, hop3Com)
+
+	for i := 0; i < 4; i++ {
+		b.Node(fmt.Sprintf("a%02d", i), ArchAlpha, stack, BandwidthFast100, hop3Com)
+	}
+	for i := 0; i < 6; i++ {
+		b.Node(fmt.Sprintf("i%02d", i), ArchIntel, stack, BandwidthFast100, hop3Com)
+	}
+	for i := 4; i < 8; i++ {
+		b.Node(fmt.Sprintf("a%02d", i), ArchAlpha, east2, BandwidthFast100, hop3Com)
+	}
+	for i := 0; i < 4; i++ {
+		b.Node(fmt.Sprintf("s%02d", i), ArchSPARC, westS, BandwidthFast100, hop3Com)
+	}
+	for i := 6; i < 9; i++ {
+		b.Node(fmt.Sprintf("i%02d", i), ArchIntel, westS, BandwidthFast100, hop3Com)
+	}
+	for i := 4; i < 8; i++ {
+		b.Node(fmt.Sprintf("s%02d", i), ArchSPARC, westI, BandwidthFast100, hop3Com)
+	}
+	for i := 9; i < 12; i++ {
+		b.Node(fmt.Sprintf("i%02d", i), ArchIntel, westI, BandwidthFast100, hop3Com)
+	}
+	return b.Build()
+}
+
+// NewTestTopology builds a small two-switch, two-architecture cluster used
+// throughout unit tests: nodes 0..3 (Alpha) on switch A, nodes 4..7 (Intel)
+// on switch B, switches joined directly.
+func NewTestTopology() *Topology {
+	b := NewBuilder("testnet")
+	swA := b.Switch("swA", "3com-100", 24)
+	swB := b.Switch("swB", "3com-100", 24)
+	b.Uplink(swA, swB, BandwidthFast100, hop3Com)
+	for i := 0; i < 4; i++ {
+		b.Node(fmt.Sprintf("a%d", i), ArchAlpha, swA, BandwidthFast100, hop3Com)
+	}
+	for i := 0; i < 4; i++ {
+		b.Node(fmt.Sprintf("b%d", i), ArchIntel, swB, BandwidthFast100, hop3Com)
+	}
+	return b.Build()
+}

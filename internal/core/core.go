@@ -1,0 +1,208 @@
+// Package core implements the heart of CBES: the mapping evaluation
+// operation of §3, which predicts the execution time an application would
+// achieve under a candidate mapping, given the system profile (network
+// latency model), the application profile, and a snapshot of current
+// resource availability.
+//
+// For a mapping M (eq. 3) the prediction is
+//
+//	S_M = max_i (R_i + C_i)                                  (eq. 4)
+//	R_i = (X_i + O_i) · Speed_profile_i/Speed_j · 1/ACPU_j   (eq. 5)
+//	Θ_i = Σ message groups mc · Lc(·,·,ms)                   (eq. 6)
+//	λ_i = B_i / Θ_i^profile                                  (eq. 7)
+//	C_i = Θ_i · λ_i                                          (eq. 8)
+//
+// summed over the profile's segments. ACPU_j generalizes the paper's
+// per-node availability to co-located ranks: k ranks sharing a node with
+// c processors see their share scaled by min(1, c/k).
+package core
+
+import (
+	"fmt"
+
+	"cbes/internal/cluster"
+	"cbes/internal/monitor"
+	"cbes/internal/netmodel"
+	"cbes/internal/profile"
+)
+
+// Mapping assigns each application rank (index) to a cluster node (value) —
+// the set of (task, node) pairs of eq. 3.
+type Mapping []int
+
+// Clone copies the mapping.
+func (m Mapping) Clone() Mapping { return append(Mapping(nil), m...) }
+
+// Validate checks that every rank is assigned to an existing node.
+func (m Mapping) Validate(topo *cluster.Topology) error {
+	if len(m) == 0 {
+		return fmt.Errorf("core: empty mapping")
+	}
+	for r, n := range m {
+		if n < 0 || n >= topo.NumNodes() {
+			return fmt.Errorf("core: rank %d mapped to invalid node %d", r, n)
+		}
+	}
+	return nil
+}
+
+// Multiplicity returns how many ranks the mapping assigns to each node.
+func (m Mapping) Multiplicity() map[int]int {
+	mult := map[int]int{}
+	for _, n := range m {
+		mult[n]++
+	}
+	return mult
+}
+
+// Equal reports whether two mappings are identical.
+func (m Mapping) Equal(o Mapping) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ProcEstimate is the per-process breakdown of a prediction.
+type ProcEstimate struct {
+	Rank int
+	R    float64 // computation contribution (eq. 5), seconds
+	C    float64 // communication contribution (eq. 8), seconds
+}
+
+// Total is R + C.
+func (p ProcEstimate) Total() float64 { return p.R + p.C }
+
+// SegmentEstimate is the prediction for one profile segment.
+type SegmentEstimate struct {
+	Name     string
+	Seconds  float64 // max_i (R_i + C_i)
+	Critical int     // i_M: the rank attaining the max
+	Procs    []ProcEstimate
+}
+
+// Prediction is a complete execution-time prediction for one mapping.
+type Prediction struct {
+	Mapping  Mapping
+	Seconds  float64 // Σ over segments of S_M
+	Segments []SegmentEstimate
+}
+
+// Evaluator predicts execution times for mappings of one profiled
+// application on one calibrated cluster. It is the core CBES module that
+// serves mapping-comparison requests.
+type Evaluator struct {
+	Topo  *cluster.Topology
+	Model *netmodel.Model
+	Prof  *profile.Profile
+	// IgnoreComm drops the communication term C_i entirely. This is the
+	// cost function of the NCS baseline scheduler of §6: it can rank
+	// mappings by computation speed but its scores are not execution-time
+	// predictions.
+	IgnoreComm bool
+}
+
+// NewEvaluator builds an evaluator after sanity-checking its inputs.
+func NewEvaluator(topo *cluster.Topology, model *netmodel.Model, prof *profile.Profile) (*Evaluator, error) {
+	if prof.Cluster != topo.Name {
+		return nil, fmt.Errorf("core: profile from cluster %q, topology is %q", prof.Cluster, topo.Name)
+	}
+	if !prof.LambdasReady {
+		return nil, fmt.Errorf("core: profile lambdas not computed; call Profile.ComputeLambdas first")
+	}
+	return &Evaluator{Topo: topo, Model: model, Prof: prof}, nil
+}
+
+// Predict evaluates mapping m under the resource conditions of snap and
+// returns the execution-time prediction.
+func (e *Evaluator) Predict(m Mapping, snap *monitor.Snapshot) (*Prediction, error) {
+	if len(m) != e.Prof.Ranks {
+		return nil, fmt.Errorf("core: mapping has %d ranks, profile has %d", len(m), e.Prof.Ranks)
+	}
+	if err := m.Validate(e.Topo); err != nil {
+		return nil, err
+	}
+	mult := m.Multiplicity()
+	pred := &Prediction{Mapping: m.Clone()}
+	for _, seg := range e.Prof.Segments {
+		se := SegmentEstimate{Name: seg.Name, Critical: -1}
+		for i := range seg.Procs {
+			pp := &seg.Procs[i]
+			node := m[pp.Rank]
+			est := ProcEstimate{Rank: pp.Rank}
+			est.R = e.computeTerm(pp, node, mult[node], snap)
+			if !e.IgnoreComm {
+				est.C = e.commTerm(pp, m, snap)
+			}
+			se.Procs = append(se.Procs, est)
+			if t := est.Total(); se.Critical < 0 || t > se.Seconds {
+				se.Seconds = t
+				se.Critical = pp.Rank
+			}
+		}
+		pred.Seconds += se.Seconds
+		pred.Segments = append(pred.Segments, se)
+	}
+	return pred, nil
+}
+
+// computeTerm is R_i of eq. 5.
+func (e *Evaluator) computeTerm(pp *profile.ProcProfile, node, coLocated int, snap *monitor.Snapshot) float64 {
+	n := e.Topo.Node(node)
+	speed, ok := e.Prof.ArchSpeed[n.Arch]
+	if !ok || speed <= 0 {
+		// Fall back to the architecture's nominal speed when the profile
+		// lacks a measurement (should not happen with bench-built profiles).
+		speed = n.Speed
+	}
+	acpu := snap.AvailCPU[node]
+	if coLocated > 1 {
+		share := float64(n.CPUs) / float64(coLocated)
+		if share < 1 {
+			acpu *= share
+		}
+	}
+	if acpu < 0.01 {
+		acpu = 0.01
+	}
+	return (pp.X + pp.O) * (pp.ProfSpeed / speed) * (1 / acpu)
+}
+
+// commTerm is C_i = λ_i · Θ_i (eqs. 6 and 8), with Lc the load-adjusted
+// latency estimate of the network model.
+func (e *Evaluator) commTerm(pp *profile.ProcProfile, m Mapping, snap *monitor.Snapshot) float64 {
+	if pp.Lambda == 0 {
+		return 0
+	}
+	theta := profile.Theta(pp, m, func(src, dst int, size int64) float64 {
+		return e.Model.Latency(src, dst, size, snap)
+	})
+	return theta * pp.Lambda
+}
+
+// Compare evaluates a batch of candidate mappings (a mapping-comparison
+// request from an external client such as a scheduler) and returns the
+// predictions in the same order plus the index of the fastest.
+func (e *Evaluator) Compare(ms []Mapping, snap *monitor.Snapshot) ([]*Prediction, int, error) {
+	if len(ms) == 0 {
+		return nil, -1, fmt.Errorf("core: no mappings to compare")
+	}
+	preds := make([]*Prediction, len(ms))
+	best := 0
+	for i, m := range ms {
+		p, err := e.Predict(m, snap)
+		if err != nil {
+			return nil, -1, err
+		}
+		preds[i] = p
+		if p.Seconds < preds[best].Seconds {
+			best = i
+		}
+	}
+	return preds, best, nil
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain renders the prediction as a human-readable breakdown: per
+// segment, the per-process computation (R) and communication (C)
+// contributions of eq. 4, with the critical process marked — the view an
+// operator needs to understand *why* CBES prefers one mapping.
+func (p *Prediction) Explain(topo interface{ NodeName(int) string }) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "predicted execution time: %.3fs over %d segment(s)\n",
+		p.Seconds, len(p.Segments))
+	for _, seg := range p.Segments {
+		fmt.Fprintf(&sb, "segment %q: %.3fs (critical rank %d)\n",
+			seg.Name, seg.Seconds, seg.Critical)
+		procs := append([]ProcEstimate(nil), seg.Procs...)
+		sort.Slice(procs, func(i, j int) bool { return procs[i].Total() > procs[j].Total() })
+		for _, pe := range procs {
+			mark := " "
+			if pe.Rank == seg.Critical {
+				mark = "*"
+			}
+			node := p.Mapping[pe.Rank]
+			name := fmt.Sprintf("node%d", node)
+			if topo != nil {
+				name = topo.NodeName(node)
+			}
+			fmt.Fprintf(&sb, " %s rank %2d on %-12s R=%8.3fs  C=%8.3fs  total=%8.3fs\n",
+				mark, pe.Rank, name, pe.R, pe.C, pe.Total())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,205 @@
+// Package des implements a deterministic discrete-event simulation engine
+// with coroutine-style simulated processes.
+//
+// The engine is the foundation of the virtual-cluster substrate that stands
+// in for the paper's physical Centurion and Orange Grove clusters: network
+// transfers, CPU bursts, monitoring daemons, and background-load changes are
+// all events on a single totally-ordered timeline.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a strict
+// FIFO tie-break), and at most one simulated process executes at any moment,
+// so a run with a fixed seed is exactly reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a simulated timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations in simulated time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulated timestamp.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts a simulated timestamp to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts a simulated timestamp to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromSeconds converts floating-point seconds to a simulated duration,
+// saturating at MaxTime. Negative inputs are clamped to zero.
+func FromSeconds(s float64) Time {
+	if s <= 0 {
+		return 0
+	}
+	f := s * float64(Second)
+	if f >= float64(math.MaxInt64) {
+		return MaxTime
+	}
+	return Time(f)
+}
+
+// String formats the timestamp as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a scheduled callback. The zero value is invalid; obtain events
+// through Engine.Schedule or Engine.ScheduleAt.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index; -1 when not queued
+	fn    func()
+}
+
+// At reports the simulated time at which the event will fire.
+func (e *Event) At() Time { return e.at }
+
+// Scheduled reports whether the event is still pending in the queue.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation kernel. It is not safe for
+// concurrent use from multiple goroutines; simulated processes appear
+// concurrent but are interleaved one at a time by the engine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	running bool
+	procs   int // live simulated processes (diagnostics)
+	live    map[*Proc]struct{}
+	events  uint64
+}
+
+// NewEngine returns an engine positioned at time zero with an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Processed reports the total number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.events }
+
+// Schedule queues fn to run after the given delay (clamped to >= 0) and
+// returns a handle that can be cancelled.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at the absolute simulated time at. Times in
+// the past are clamped to the current time.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if fn == nil {
+		panic("des: ScheduleAt with nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+}
+
+// Step executes the earliest pending event if its timestamp is <= limit.
+// It reports false when the queue is empty or the next event lies beyond
+// limit. It allows callers to run the simulation until an external
+// condition (e.g. "all application ranks finished") becomes true while
+// daemon processes keep the queue non-empty.
+func (e *Engine) Step(limit Time) bool { return e.step(limit) }
+
+// step executes the earliest pending event. It reports false when the queue
+// is empty or the next event lies beyond limit.
+func (e *Engine) step(limit Time) bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := e.queue[0]
+	if next.at > limit {
+		return false
+	}
+	heap.Pop(&e.queue)
+	if next.at > e.now {
+		e.now = next.at
+	}
+	fn := next.fn
+	next.fn = nil
+	e.events++
+	fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() { e.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps <= limit and then advances the
+// clock to limit (if the clock has not already passed it).
+func (e *Engine) RunUntil(limit Time) {
+	if e.running {
+		panic("des: Engine.Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.step(limit) {
+	}
+	if limit < MaxTime && e.now < limit {
+		e.now = limit
+	}
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cbes/internal/stats"
+)
+
+// The experiment drivers are exercised at tiny scale: these tests verify
+// the *shape* of every reproduced result (who wins, zone ordering,
+// sensitivity directions), not absolute numbers. cmd/experiments runs the
+// full-scale versions.
+
+var (
+	labOnce sync.Once
+	sharedL *Lab
+)
+
+func lab(t *testing.T) *Lab {
+	t.Helper()
+	labOnce.Do(func() { sharedL = NewLab(Config{Seed: 42}) })
+	return sharedL
+}
+
+func tinyCfg() Config { return Config{Seed: 42, Scale: 0.01} }
+
+func TestFig6ZoneOrdering(t *testing.T) {
+	l := lab(t)
+	res := Fig6LUZones(l, tinyCfg())
+	if len(res.Zones) != 3 {
+		t.Fatalf("zones = %d", len(res.Zones))
+	}
+	h, m, lo := res.Zones[0], res.Zones[1], res.Zones[2]
+	// Three distinct zones: high faster than medium faster than low.
+	if !(h.Max < m.Min) {
+		t.Fatalf("high zone [%v,%v] overlaps medium [%v,%v]", h.Min, h.Max, m.Min, m.Max)
+	}
+	if !(m.Max < lo.Min) {
+		t.Fatalf("medium zone [%v,%v] overlaps low [%v,%v]", m.Min, m.Max, lo.Min, lo.Max)
+	}
+	// Zones have width (the communication effect).
+	for _, z := range res.Zones {
+		if z.Max-z.Min <= 0 {
+			t.Fatalf("zone %s has no width", z.Name)
+		}
+	}
+	if !strings.Contains(res.Render(), "zones") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTable1SpeedupsPositive(t *testing.T) {
+	l := lab(t)
+	res := Table1(l, tinyCfg())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.BestTime >= row.WorstTime {
+			t.Fatalf("%s: best %v !< worst %v", row.Case, row.BestTime, row.WorstTime)
+		}
+		// Within-zone speedups: positive, single-digit-percent scale
+		// (paper: 5.3-9.3%; our pipelined-wavefront model realizes a
+		// smaller but clearly positive effect — see EXPERIMENTS.md).
+		if row.SpeedupPct < 0.5 || row.SpeedupPct > 25 {
+			t.Fatalf("%s: speedup %.1f%% outside plausible band", row.Case, row.SpeedupPct)
+		}
+	}
+	// Cross-zone max speedup is far larger than within-zone ones
+	// (paper: 36.6%).
+	if res.MaxVsRandomPct < 20 || res.MaxVsRandomPct > 60 {
+		t.Fatalf("max vs random = %.1f%%, want ≈30-45%%", res.MaxVsRandomPct)
+	}
+}
+
+func TestTable2CSBeatsNCS(t *testing.T) {
+	l := lab(t)
+	cfg := Config{Seed: 42, Scale: 0.06} // a few runs per scheduler
+	res := Table2(l, cfg)
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 0; i < 3; i++ {
+		cs, ncs := res.Rows[2*i], res.Rows[2*i+1]
+		if cs.Scheduler != "CS" || ncs.Scheduler != "NCS" {
+			t.Fatal("row order broken")
+		}
+		if cs.AvgPredicted > ncs.AvgPredicted*1.001 {
+			t.Fatalf("%s: CS avg predicted %v worse than NCS %v", cs.Case, cs.AvgPredicted, ncs.AvgPredicted)
+		}
+		if cs.HitsPct < ncs.HitsPct {
+			t.Fatalf("%s: CS hits %v%% < NCS hits %v%%", cs.Case, cs.HitsPct, ncs.HitsPct)
+		}
+	}
+	// CS hit rate high in at least two zones; NCS low overall.
+	goodZones := 0
+	for i := 0; i < 3; i++ {
+		if res.Rows[2*i].HitsPct >= 60 {
+			goodZones++
+		}
+	}
+	if goodZones < 2 {
+		t.Fatalf("CS hit rates too low: %v %v %v",
+			res.Rows[0].HitsPct, res.Rows[2].HitsPct, res.Rows[4].HitsPct)
+	}
+
+	// Figure 7 from the same data.
+	f7 := Fig7(res)
+	if f7.CS.Total() == 0 || f7.NCS.Total() == 0 {
+		t.Fatal("fig7 histograms empty")
+	}
+	// CS mass concentrates in the lower half; NCS in the upper half.
+	lowerCS := lowerHalfFraction(f7.CS)
+	lowerNCS := lowerHalfFraction(f7.NCS)
+	if lowerCS <= lowerNCS {
+		t.Fatalf("CS lower-half mass %.2f not above NCS %.2f", lowerCS, lowerNCS)
+	}
+	if !strings.Contains(f7.Render(), "#") {
+		t.Fatal("fig7 render broken")
+	}
+}
+
+func lowerHalfFraction(h *stats.Histogram) float64 {
+	lower := 0
+	for i := 0; i < len(h.Counts)/2; i++ {
+		lower += h.Counts[i]
+	}
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(lower) / float64(total)
+}
+
+func TestPhase1SweepShape(t *testing.T) {
+	l := lab(t)
+	res := Phase1Sweep(l, tinyCfg())
+	if res.Cases < 20 {
+		t.Fatalf("cases = %d", res.Cases)
+	}
+	// The prediction formulation holds across the sweep: most cases within
+	// the paper's 4% band, overall mean low.
+	if res.FracWithin4 < 0.6 {
+		t.Fatalf("only %.0f%% of cases within 4%% error", res.FracWithin4*100)
+	}
+	if res.MeanErr > 5 {
+		t.Fatalf("mean error %.2f%% too high", res.MeanErr)
+	}
+	if res.P95Err < res.MeanErr {
+		t.Fatal("p95 below mean")
+	}
+	if !strings.Contains(res.Render(), "Phase 1") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig5PredictionErrors(t *testing.T) {
+	l := lab(t)
+	res := Fig5(l, tinyCfg())
+	if len(res.Cases) < 3 {
+		t.Fatalf("cases = %d", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if c.MeanErr > 10 {
+			t.Fatalf("%s: prediction error %.2f%% far above the paper's <4%% band", c.Name, c.MeanErr)
+		}
+		if c.Predicted <= 0 || c.MeanTime <= 0 {
+			t.Fatalf("%s: degenerate times", c.Name)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 5") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestPhase3ErrorGrowsWithLoad(t *testing.T) {
+	l := lab(t)
+	res := Phase3LoadSensitivity(l, tinyCfg())
+	e0 := res.MeanErrAtLoad(0)
+	e10 := res.MeanErrAtLoad(10)
+	e30 := res.MeanErrAtLoad(30)
+	if e0 > 5 {
+		t.Fatalf("no-load error %.2f%% too high", e0)
+	}
+	if e10 <= e0 {
+		t.Fatalf("10%% load error %.2f%% not above base %.2f%%", e10, e0)
+	}
+	if e30 <= e10 {
+		t.Fatalf("error not monotone: %.2f%% at 30%% vs %.2f%% at 10%%", e30, e10)
+	}
+	if e30 < 4 {
+		t.Fatalf("30%% load error %.2f%% should exceed the 4%% ceiling", e30)
+	}
+	// With the load visible in the snapshot, the error must on average be
+	// clearly smaller than with a stale snapshot at the same load level
+	// (the formula handles known load; stale conditions are what
+	// invalidate predictions). Per-program exceptions exist: LU in its
+	// latency-bound regime absorbs single-node CPU load in the wavefront
+	// pipeline, which the R-term correction cannot know.
+	staleAt30 := res.MeanErrAtLoad(30)
+	var knownSum float64
+	var knownN int
+	for _, row := range res.Rows {
+		if !row.Stale {
+			knownSum += row.MeanErr
+			knownN++
+		}
+	}
+	if knownN == 0 {
+		t.Fatal("no known-load control rows")
+	}
+	if knownMean := knownSum / float64(knownN); knownMean >= staleAt30 {
+		t.Fatalf("known-load mean error %.2f%% not below stale error %.2f%%", knownMean, staleAt30)
+	}
+}
+
+func TestTable3UncertainCases(t *testing.T) {
+	l := lab(t)
+	res := Table3(l, tinyCfg())
+	byName := map[string]Table3Row{}
+	for _, row := range res.Rows {
+		byName[row.Case] = row
+	}
+	// Towhee (embarrassingly parallel) must be uncertain.
+	if !byName["towhee.8"].Uncertain {
+		t.Fatalf("towhee speedup %.1f%% should be uncertain", byName["towhee.8"].SpeedupPct)
+	}
+	// Aztec (latency-bound solver) must show a clear speedup.
+	if az := byName["aztec.8"]; az.Uncertain || az.SpeedupPct < 4 {
+		t.Fatalf("aztec speedup %.1f%% too small", az.SpeedupPct)
+	}
+	// smg2000 and HPL(5000+) show real speedups.
+	for _, name := range []string{"smg2000.50.8", "smg2000.60.8", "hpl.10000.8"} {
+		if row := byName[name]; row.SpeedupPct < 1.5 {
+			t.Fatalf("%s speedup %.1f%% too small", name, row.SpeedupPct)
+		}
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	l := lab(t)
+	res := Ablations(l, tinyCfg())
+	// λ correction must help on the latency-bound Aztec.
+	if res.LambdaOnErr >= res.LambdaOffErr {
+		t.Fatalf("λ correction did not help: on %.2f%% vs off %.2f%%",
+			res.LambdaOnErr, res.LambdaOffErr)
+	}
+	// The class model must be competitive with O(N²) calibration while
+	// using far fewer measurements.
+	if res.ClassCount >= res.PairCount/4 {
+		t.Fatalf("class count %d not far below pair count %d", res.ClassCount, res.PairCount)
+	}
+	if res.ClassModelErr > res.AllPairsModelErr+3 {
+		t.Fatalf("class model err %.2f%% much worse than all-pairs %.2f%%",
+			res.ClassModelErr, res.AllPairsModelErr)
+	}
+	// The adaptive forecaster must beat last-value on a volatile series.
+	if res.NWSRMSE >= res.LastValueRMSE {
+		t.Fatalf("NWS RMSE %.4f not below last-value %.4f", res.NWSRMSE, res.LastValueRMSE)
+	}
+	// Scheduler ordering: CS close to optimal, RS clearly worse.
+	if res.SchedulerGapPct["cs"] > 2 {
+		t.Fatalf("CS gap to optimum %.2f%% too large", res.SchedulerGapPct["cs"])
+	}
+	if res.SchedulerGapPct["rs"] <= res.SchedulerGapPct["cs"] {
+		t.Fatalf("RS gap %.2f%% not above CS gap %.2f%%",
+			res.SchedulerGapPct["rs"], res.SchedulerGapPct["cs"])
+	}
+	if !strings.Contains(res.Render(), "λ") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestHeadlineShapes(t *testing.T) {
+	l := lab(t)
+	res := Headline(l, tinyCfg())
+	if res.GroveSpreadPct < 35 || res.GroveSpreadPct > 120 {
+		t.Fatalf("grove spread %.1f%% out of band (paper ≈54%%)", res.GroveSpreadPct)
+	}
+	if res.CenturionSpreadPct < 8 || res.CenturionSpreadPct > 35 {
+		t.Fatalf("centurion spread %.1f%% out of band (paper ≈13%%)", res.CenturionSpreadPct)
+	}
+	if res.GroveSpreadPct <= res.CenturionSpreadPct {
+		t.Fatal("grove must be more heterogeneous than centurion")
+	}
+	if res.BestVsRandomAvgPct < 10 || res.BestVsRandomAvgPct > 50 {
+		t.Fatalf("best vs random avg %.1f%% out of band (paper ≈30%%)", res.BestVsRandomAvgPct)
+	}
+	if res.BestVsRandomMaxPct <= res.BestVsRandomAvgPct {
+		t.Fatal("max speedup must exceed average speedup")
+	}
+}

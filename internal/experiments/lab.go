@@ -1,0 +1,287 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5–6): the phase-1 synthetic prediction-error sweep, the
+// figure-5 NPB/HPL prediction errors, the phase-3 load-sensitivity study,
+// the figure-6 LU execution-time zones, tables 1–4 (worst-vs-best and
+// average-case scheduling for LU and the ASCI/HPL selection), the
+// figure-7 predicted-time distributions, and the §6 headline numbers.
+//
+// Every experiment is deterministic for a fixed Config.Seed. Scale factors
+// let the full paper-sized runs (16 000+ sweep cases, 100 scheduler runs
+// per scenario) be shrunk for quick regeneration.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cbes/internal/bench"
+	"cbes/internal/cluster"
+	"cbes/internal/core"
+	"cbes/internal/des"
+	"cbes/internal/monitor"
+	"cbes/internal/mpisim"
+	"cbes/internal/netmodel"
+	"cbes/internal/profile"
+	"cbes/internal/simnet"
+	"cbes/internal/vcluster"
+	"cbes/internal/workloads"
+)
+
+// Config controls experiment scale and determinism.
+type Config struct {
+	// Seed drives all experiment randomness.
+	Seed int64
+	// Scale in (0,1] shrinks case counts / repetitions; 1.0 is the
+	// paper-sized run. The default (0) means 0.25.
+	Scale float64
+	// Verbose enables progress lines on stdout.
+	Verbose bool
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 0.25
+	}
+	if c.Scale > 1 {
+		return 1
+	}
+	return c.Scale
+}
+
+// scaled returns max(min, round(full*scale)).
+func (c Config) scaled(full, min int) int {
+	n := int(float64(full)*c.scale() + 0.5)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Verbose {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// Lab owns the calibrated clusters and profiled applications shared by the
+// experiments. Building one performs the off-line calibration phase.
+type Lab struct {
+	cfg Config
+
+	GroveTopo *cluster.Topology
+	GroveNet  *netmodel.Model
+
+	centTopo *cluster.Topology
+	centNet  *netmodel.Model
+
+	profiles map[string]*profile.Profile
+	speeds   map[string]map[cluster.Arch]float64
+}
+
+// NewLab calibrates Orange Grove (Centurion is calibrated lazily on first
+// use, as only phase 1 and figure 5 need it).
+func NewLab(cfg Config) *Lab {
+	l := &Lab{
+		cfg:       cfg,
+		GroveTopo: cluster.NewOrangeGrove(),
+		profiles:  map[string]*profile.Profile{},
+		speeds:    map[string]map[cluster.Arch]float64{},
+	}
+	cfg.logf("calibrating orange-grove (%d nodes)...", l.GroveTopo.NumNodes())
+	l.GroveNet = bench.Calibrate(l.GroveTopo, bench.Options{Reps: 5})
+	return l
+}
+
+// Centurion returns the lazily calibrated Centurion testbed.
+func (l *Lab) Centurion() (*cluster.Topology, *netmodel.Model) {
+	if l.centTopo == nil {
+		l.centTopo = cluster.NewCenturion()
+		l.cfg.logf("calibrating centurion (%d nodes)...", l.centTopo.NumNodes())
+		l.centNet = bench.Calibrate(l.centTopo, bench.Options{Reps: 5})
+	}
+	return l.centTopo, l.centNet
+}
+
+// modelFor returns the calibrated model of the given topology.
+func (l *Lab) modelFor(topo *cluster.Topology) *netmodel.Model {
+	if topo == l.GroveTopo {
+		return l.GroveNet
+	}
+	if topo == l.centTopo {
+		return l.centNet
+	}
+	panic("experiments: unknown topology")
+}
+
+// archSpeeds measures (and caches) an application's per-architecture
+// speeds.
+func (l *Lab) archSpeeds(topo *cluster.Topology, prog workloads.Program) map[cluster.Arch]float64 {
+	key := topo.Name + "/" + prog.Name
+	if s, ok := l.speeds[key]; ok {
+		return s
+	}
+	s := bench.MeasureArchSpeeds(topo, prog.ArchEff, 0.5)
+	l.speeds[key] = s
+	return s
+}
+
+// Profile profiles (and caches) a program on the given topology/mapping.
+func (l *Lab) Profile(topo *cluster.Topology, prog workloads.Program, mapping []int) *profile.Profile {
+	key := topo.Name + "/" + prog.Name
+	if p, ok := l.profiles[key]; ok {
+		return p
+	}
+	eng := des.NewEngine()
+	vc := vcluster.New(eng, topo)
+	net := simnet.New(eng, topo)
+	res := mpisim.Run(vc, net, mapping, prog.Body, prog.Options())
+	p, err := profile.FromTrace(res.Trace, topo, l.archSpeeds(topo, prog))
+	if err != nil {
+		panic(err)
+	}
+	if err := p.ComputeLambdas(l.modelFor(topo)); err != nil {
+		panic(err)
+	}
+	l.profiles[key] = p
+	return p
+}
+
+// dropProfiles evicts cached profiles (and speed measurements) whose app
+// name matches, so one-shot synthetic configurations do not accumulate.
+func (l *Lab) dropProfiles(app string) {
+	for k := range l.profiles {
+		if l.profiles[k].App == app {
+			delete(l.profiles, k)
+		}
+	}
+	for k := range l.speeds {
+		if len(k) > len(app) && k[len(k)-len(app):] == app {
+			delete(l.speeds, k)
+		}
+	}
+}
+
+// Evaluator builds the CBES evaluator for a profiled program.
+func (l *Lab) Evaluator(topo *cluster.Topology, prog workloads.Program, profMapping []int) *core.Evaluator {
+	p := l.Profile(topo, prog, profMapping)
+	e, err := core.NewEvaluator(topo, l.modelFor(topo), p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// JitterLevel selects background-load realism for measurement runs.
+type JitterLevel int
+
+// Jitter levels.
+const (
+	// JitterNone: perfectly quiet cluster.
+	JitterNone JitterLevel = iota
+	// JitterOS: "routine operating system processes" — availability
+	// wanders in [0.97, 1.0]; per §5 this does not invalidate predictions.
+	JitterOS
+)
+
+// Measure runs a program on a fresh instance of the topology under the
+// mapping and returns the actual execution time in seconds. jitterSeed
+// varies the background-load realization between repetitions.
+func (l *Lab) Measure(topo *cluster.Topology, prog workloads.Program, mapping []int, jitter JitterLevel, jitterSeed int64) float64 {
+	res := l.MeasureWithLoad(topo, prog, mapping, jitter, jitterSeed, nil)
+	return res
+}
+
+// MeasureWithLoad is Measure plus explicit per-node availability overrides
+// applied before the run (used by the phase-3 load-sensitivity study).
+func (l *Lab) MeasureWithLoad(topo *cluster.Topology, prog workloads.Program, mapping []int, jitter JitterLevel, jitterSeed int64, avail map[int]float64) float64 {
+	eng := des.NewEngine()
+	vc := vcluster.New(eng, topo)
+	net := simnet.New(eng, topo)
+	rng := rand.New(rand.NewSource(jitterSeed))
+	for id := 0; id < topo.NumNodes(); id++ {
+		mean, overridden := avail[id]
+		if !overridden {
+			mean = 0.985
+		}
+		switch {
+		case jitter == JitterOS:
+			// The OS-noise walk wanders around the node's base availability
+			// (explicit load overrides shift that base).
+			vc.RandomWalkLoad(id, mean, 0.006, 500*des.Millisecond, rng.Int63())
+			id := id
+			m := mean
+			eng.Schedule(0, func() { vc.SetAvailability(id, m) })
+		case overridden:
+			id := id
+			m := mean
+			eng.Schedule(0, func() { vc.SetAvailability(id, m) })
+		}
+	}
+	res := mpisim.Run(vc, net, mapping, prog.Body, prog.Options())
+	eng.Shutdown()
+	return res.Elapsed.Seconds()
+}
+
+// snapshotWithLoad builds an idle snapshot with explicit availability
+// overrides — what the monitor would report after observing that load.
+func snapshotWithLoad(topo *cluster.Topology, avail map[int]float64) *monitor.Snapshot {
+	s := monitor.IdleSnapshot(topo.NumNodes())
+	for node, a := range avail {
+		s.AvailCPU[node] = a
+	}
+	return s
+}
+
+// predict evaluates a mapping under an idle snapshot.
+func predict(e *core.Evaluator, m []int, snap *monitor.Snapshot) float64 {
+	p, err := e.Predict(core.Mapping(m), snap)
+	if err != nil {
+		panic(err)
+	}
+	return p.Seconds
+}
+
+// errPct is the prediction error percentage relative to the actual time.
+func errPct(predicted, actual float64) float64 {
+	d := predicted - actual
+	if d < 0 {
+		d = -d
+	}
+	return d / actual * 100
+}
+
+// pickMapping draws a random injective mapping from pool.
+func pickMapping(pool []int, ranks int, rng *rand.Rand) []int {
+	p := append([]int(nil), pool...)
+	rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return append([]int(nil), p[:ranks]...)
+}
+
+// pickContiguous draws a contiguous block of the (ID-sorted) pool starting
+// at a random offset, wrapping around — the shape of mappings produced by
+// round-robin allocation from a node list, which keeps most ranks
+// topologically close.
+func pickContiguous(pool []int, ranks int, rng *rand.Rand) []int {
+	off := rng.Intn(len(pool))
+	m := make([]int, ranks)
+	for i := range m {
+		m[i] = pool[(off+i)%len(pool)]
+	}
+	return m
+}
+
+// groveGroups returns the three node groups of §6.1: high (Alpha only),
+// medium (Alpha+Intel), low (Alpha+Intel+SPARC).
+func (l *Lab) groveGroups() (high, medium, low []int) {
+	t := l.GroveTopo
+	high = t.NodesByArch(cluster.ArchAlpha)
+	medium = append(append([]int{}, high...), t.NodesByArch(cluster.ArchIntel)...)
+	low = append(append([]int{}, medium...), t.NodesByArch(cluster.ArchSPARC)...)
+	sort.Ints(medium)
+	sort.Ints(low)
+	return high, medium, low
+}
+
+// luProgram is the LU configuration of the §6.1 study.
+func luProgram() workloads.Program { return workloads.LU(workloads.ClassB, 8) }

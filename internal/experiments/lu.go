@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cbes/internal/cluster"
+	"cbes/internal/core"
+	"cbes/internal/monitor"
+	"cbes/internal/schedule"
+	"cbes/internal/stats"
+)
+
+// zoneSpec describes one of the three §6.1 node groups.
+type zoneSpec struct {
+	Name string
+	Pool []int
+	// Requires is the architecture that must appear in a sampled mapping
+	// for it to represent this zone ("" = no constraint).
+	Requires cluster.Arch
+}
+
+// luZones builds the three zones: high (Alpha only), medium (Alpha+Intel,
+// Intel present), low (all architectures, SPARC present).
+func (l *Lab) luZones() []zoneSpec {
+	high, med, low := l.groveGroups()
+	return []zoneSpec{
+		{Name: "LU(1) high-speed (A)", Pool: high},
+		{Name: "LU(2) medium-speed (A+I)", Pool: med, Requires: cluster.ArchIntel},
+		{Name: "LU(3) low-speed (A+I+S)", Pool: low, Requires: cluster.ArchSPARC},
+	}
+}
+
+// sampleZoneMapping draws a random mapping that represents the zone.
+func (l *Lab) sampleZoneMapping(z zoneSpec, ranks int, rng *rand.Rand) []int {
+	for {
+		m := pickMapping(z.Pool, ranks, rng)
+		if z.Requires == "" {
+			return m
+		}
+		for _, n := range m {
+			if l.GroveTopo.Node(n).Arch == z.Requires {
+				return m
+			}
+		}
+	}
+}
+
+// zoneRequest builds a scheduling request over the zone pool, constrained
+// to zone-representative mappings (the defining architecture must appear).
+func (l *Lab) zoneRequest(e *core.Evaluator, z zoneSpec, seed int64, effort int, maximize bool) *schedule.Request {
+	var constraint func(core.Mapping) bool
+	if z.Requires != "" {
+		req := z.Requires
+		topo := l.GroveTopo
+		constraint = func(m core.Mapping) bool {
+			for _, n := range m {
+				if topo.Node(n).Arch == req {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return &schedule.Request{
+		Eval:       e,
+		Snap:       monitor.IdleSnapshot(l.GroveTopo.NumNodes()),
+		Pool:       z.Pool,
+		Seed:       seed,
+		Effort:     effort,
+		Maximize:   maximize,
+		Constraint: constraint,
+	}
+}
+
+// Fig6Zone is one execution-time zone of figure 6.
+type Fig6Zone struct {
+	Name     string
+	Mappings int
+	Times    []float64
+	Min, Max float64
+	Mean     float64
+}
+
+// Fig6Result reproduces figure 6: measured LU execution-time ranges on 8
+// Orange Grove nodes for the high/medium/low speed groups — three distinct
+// zones whose offsets come from node compute speeds and whose widths come
+// from communication.
+type Fig6Result struct {
+	Zones []Fig6Zone
+}
+
+// Fig6LUZones samples representative mappings per zone and measures them.
+func Fig6LUZones(l *Lab, cfg Config) *Fig6Result {
+	rng := rand.New(rand.NewSource(cfg.Seed + 6))
+	prog := luProgram()
+	perZone := cfg.scaled(33, 8)
+	res := &Fig6Result{}
+	for _, z := range l.luZones() {
+		zone := Fig6Zone{Name: z.Name, Mappings: perZone}
+		for k := 0; k < perZone; k++ {
+			m := l.sampleZoneMapping(z, prog.Ranks, rng)
+			t := l.Measure(l.GroveTopo, prog, m, JitterOS, rng.Int63())
+			zone.Times = append(zone.Times, t)
+		}
+		zone.Min = stats.Min(zone.Times)
+		zone.Max = stats.Max(zone.Times)
+		zone.Mean = stats.Mean(zone.Times)
+		res.Zones = append(res.Zones, zone)
+		cfg.logf("fig6: %s done [%0.1f, %0.1f]s", z.Name, zone.Min, zone.Max)
+	}
+	return res
+}
+
+// Render draws the zones as text ranges.
+func (r *Fig6Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — LU on 8 Orange Grove nodes: measured execution-time zones\n")
+	for _, z := range r.Zones {
+		fmt.Fprintf(&sb, "  %-26s [%6.1f .. %6.1f]s  mean %6.1f  (%d mappings)\n",
+			z.Name, z.Min, z.Max, z.Mean, z.Mappings)
+	}
+	sb.WriteString("  (paper: three distinct zones ≈207-220 / ≈235-262 / ≈300-330 s)\n")
+	return sb.String()
+}
+
+// Table1Row is one row of table 1 (worst vs best case).
+type Table1Row struct {
+	Case          string
+	WorstTime     float64
+	WorstCI       float64
+	BestTime      float64
+	BestCI        float64
+	SpeedupPct    float64
+	SchedulerSecs float64
+	Comment       string
+}
+
+// Table1Result reproduces table 1: the maximum feasible speedup within each
+// node group, from the measured times of the CS-found best mapping vs. the
+// worst mapping of the group.
+type Table1Result struct {
+	Rows []Table1Row
+	// MaxVsRandomPct is the §6.1.1 companion number: best overall vs.
+	// worst overall mapping — the 36.6 % potential speedup against a
+	// random scheduler that may pick any mapping.
+	MaxVsRandomPct float64
+}
+
+// Table1 finds and measures best/worst mappings per zone.
+func Table1(l *Lab, cfg Config) *Table1Result {
+	prog := luProgram()
+	high, _, _ := l.groveGroups()
+	eval := l.Evaluator(l.GroveTopo, prog, high)
+	runs := cfg.scaled(5, 3)
+	res := &Table1Result{}
+	globalBest, globalWorst := 0.0, 0.0
+	for zi, z := range l.luZones() {
+		best, err := schedule.SimulatedAnnealing(l.zoneRequest(eval, z, cfg.Seed+int64(zi), 6000, false))
+		if err != nil {
+			panic(err)
+		}
+		worst, err := schedule.SimulatedAnnealing(l.zoneRequest(eval, z, cfg.Seed+int64(zi)+50, 6000, true))
+		if err != nil {
+			panic(err)
+		}
+		var bestT, worstT []float64
+		for r := 0; r < runs; r++ {
+			bestT = append(bestT, l.Measure(l.GroveTopo, prog, best.Mapping, JitterOS, cfg.Seed+int64(100*zi+r)))
+			worstT = append(worstT, l.Measure(l.GroveTopo, prog, worst.Mapping, JitterOS, cfg.Seed+int64(100*zi+r+9999)))
+		}
+		bm, bci := stats.MeanCI(bestT)
+		wm, wci := stats.MeanCI(worstT)
+		res.Rows = append(res.Rows, Table1Row{
+			Case:          z.Name,
+			WorstTime:     wm,
+			WorstCI:       wci,
+			BestTime:      bm,
+			BestCI:        bci,
+			SpeedupPct:    (wm - bm) / wm * 100,
+			SchedulerSecs: best.SchedulerTime.Seconds() + worst.SchedulerTime.Seconds(),
+			Comment:       zoneComment(zi),
+		})
+		if zi == 0 {
+			globalBest = bm
+		}
+		globalWorst = wm
+		cfg.logf("table1: %s best %.1f worst %.1f", z.Name, bm, wm)
+	}
+	if globalWorst > 0 {
+		res.MaxVsRandomPct = (globalWorst - globalBest) / globalWorst * 100
+	}
+	return res
+}
+
+func zoneComment(zi int) string {
+	switch zi {
+	case 0:
+		return "High-speed group"
+	case 1:
+		return "Medium-speed group"
+	default:
+		return "Low-speed group"
+	}
+}
+
+// Render formats table 1.
+func (r *Table1Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1 — LU: worst vs best case scenario (Orange Grove)\n")
+	sb.WriteString("  case                        worst(s)  ±CI     best(s)  ±CI     speedup  sched(s)  comment\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %-26s %8.1f %5.1f   %8.1f %5.1f   %6.1f%%  %7.2f   %s\n",
+			row.Case, row.WorstTime, row.WorstCI, row.BestTime, row.BestCI,
+			row.SpeedupPct, row.SchedulerSecs, row.Comment)
+	}
+	fmt.Fprintf(&sb, "  max speedup vs random scheduler (best overall vs worst overall): %.1f%%  (paper: 36.6%%)\n",
+		r.MaxVsRandomPct)
+	sb.WriteString("  (paper speedups: 5.3% / 9.3% / 6.0%; scheduler ≈6 s)\n")
+	return sb.String()
+}
+
+// Table2Row is one scheduler's average-case row for one zone.
+type Table2Row struct {
+	Case         string
+	Scheduler    string // "CS" or "NCS"
+	Runs         int
+	AvgPredicted float64
+	PredCI       float64
+	HitsPct      float64
+	AvgMeasured  float64
+	MeasCI       float64
+	Predictions  []float64 // per-run full-evaluation predictions (fig. 7)
+}
+
+// Table2Result reproduces table 2: average-case scheduling. CS hits the
+// minimum-time mappings ≈90 % of the time; NCS, blind to communication,
+// almost never does.
+type Table2Result struct {
+	Rows []Table2Row
+	// ExpectedSpeedup[zone] and MeasuredSpeedup[zone] compare NCS to CS.
+	ExpectedSpeedup []float64
+	MeasuredSpeedup []float64
+}
+
+// Table2 runs the average-case scheduling study.
+func Table2(l *Lab, cfg Config) *Table2Result {
+	prog := luProgram()
+	high, _, _ := l.groveGroups()
+	eval := l.Evaluator(l.GroveTopo, prog, high)
+	runs := cfg.scaled(100, 10)
+	res := &Table2Result{}
+	for zi, z := range l.luZones() {
+		// Ground truth best predicted time: a high-effort anneal.
+		ref, err := schedule.SimulatedAnnealing(l.zoneRequest(eval, z, cfg.Seed+77, 24000, false))
+		if err != nil {
+			panic(err)
+		}
+		bestPred := ref.Predicted
+
+		for _, sched := range []string{"CS", "NCS"} {
+			row := Table2Row{Case: z.Name, Scheduler: sched, Runs: runs}
+			hits := 0
+			var preds, meas []float64
+			for k := 0; k < runs; k++ {
+				req := l.zoneRequest(eval, z, cfg.Seed+int64(200*zi+k), 6000, false)
+				var dec *schedule.Decision
+				var err error
+				if sched == "CS" {
+					dec, err = schedule.SimulatedAnnealing(req)
+				} else {
+					dec, err = schedule.SimulatedAnnealingNoComm(req)
+				}
+				if err != nil {
+					panic(err)
+				}
+				preds = append(preds, dec.Predicted)
+				if dec.Predicted <= bestPred*1.005 {
+					hits++
+				}
+				meas = append(meas, l.Measure(l.GroveTopo, prog, dec.Mapping, JitterOS,
+					cfg.Seed+int64(300*zi+k)))
+			}
+			row.AvgPredicted, row.PredCI = stats.MeanCI(preds)
+			row.HitsPct = float64(hits) / float64(runs) * 100
+			row.AvgMeasured, row.MeasCI = stats.MeanCI(meas)
+			row.Predictions = preds
+			res.Rows = append(res.Rows, row)
+			cfg.logf("table2: %s %s hits %.0f%%", z.Name, sched, row.HitsPct)
+		}
+		cs := res.Rows[len(res.Rows)-2]
+		ncs := res.Rows[len(res.Rows)-1]
+		res.ExpectedSpeedup = append(res.ExpectedSpeedup,
+			(ncs.AvgPredicted-cs.AvgPredicted)/ncs.AvgPredicted*100)
+		res.MeasuredSpeedup = append(res.MeasuredSpeedup,
+			(ncs.AvgMeasured-cs.AvgMeasured)/ncs.AvgMeasured*100)
+	}
+	return res
+}
+
+// Render formats table 2.
+func (r *Table2Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2 — LU: average case scenario (per zone: CS then NCS)\n")
+	sb.WriteString("  case                        sched  runs  avg pred  ±CI    hits   measured  ±CI\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %-26s %-5s %5d  %8.1f %5.1f  %4.0f%%  %8.1f %5.1f\n",
+			row.Case, row.Scheduler, row.Runs, row.AvgPredicted, row.PredCI,
+			row.HitsPct, row.AvgMeasured, row.MeasCI)
+	}
+	for i := range r.ExpectedSpeedup {
+		fmt.Fprintf(&sb, "  zone %d: expected speedup %.1f%%, measured speedup %.1f%%\n",
+			i+1, r.ExpectedSpeedup[i], r.MeasuredSpeedup[i])
+	}
+	sb.WriteString("  (paper: CS ≈90% hits, NCS <3%; measured speedups 4.8/8.7/5.5%)\n")
+	return sb.String()
+}
+
+// Fig7Result reproduces figure 7: the distributions of predicted times of
+// the CS and NCS selections for the LU(3) case. CS results skew to the
+// minimum-time mappings, NCS to the near-worst.
+type Fig7Result struct {
+	CS  *stats.Histogram
+	NCS *stats.Histogram
+	Lo  float64
+	Hi  float64
+}
+
+// Fig7 derives the distributions from table-2 data for the low-speed zone.
+func Fig7(t2 *Table2Result) *Fig7Result {
+	var cs, ncs []float64
+	for _, row := range t2.Rows {
+		if !strings.Contains(row.Case, "LU(3)") {
+			continue
+		}
+		if row.Scheduler == "CS" {
+			cs = row.Predictions
+		} else {
+			ncs = row.Predictions
+		}
+	}
+	all := append(append([]float64{}, cs...), ncs...)
+	lo, hi := stats.Min(all), stats.Max(all)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	lo -= span * 0.05
+	hi += span * 0.05
+	return &Fig7Result{
+		CS:  stats.NewHistogram(cs, lo, hi, 12),
+		NCS: stats.NewHistogram(ncs, lo, hi, 12),
+		Lo:  lo,
+		Hi:  hi,
+	}
+}
+
+// Render draws both histograms.
+func (r *Fig7Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7 — predicted-time distributions, LU(3) case\n")
+	sb.WriteString("  CS (skewed toward minimum-time mappings):\n")
+	sb.WriteString(indent(r.CS.Render(40), "  "))
+	sb.WriteString("  NCS (skewed toward near-worst mappings):\n")
+	sb.WriteString(indent(r.NCS.Render(40), "  "))
+	return sb.String()
+}
+
+func indent(s, pre string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pre + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,123 @@
+// Package genetic provides a generic genetic-algorithm minimizer — the
+// alternative scheduling algorithm the paper names as future work (§8) and
+// that TITAN [35] employs. It is used by the GA variant of the CBES
+// scheduler and by the scheduler-comparison ablation.
+package genetic
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Config tunes the GA.
+type Config struct {
+	// Population size (default 40).
+	Population int
+	// Generations to evolve (default 60).
+	Generations int
+	// Elite individuals copied unchanged each generation (default 2).
+	Elite int
+	// MutationRate is the probability an offspring is mutated (default 0.3).
+	MutationRate float64
+	// Tournament is the selection tournament size (default 3).
+	Tournament int
+	// MaxEvaluations caps total fitness evaluations (default 20000).
+	MaxEvaluations int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Population <= 1 {
+		c.Population = 40
+	}
+	if c.Generations <= 0 {
+		c.Generations = 60
+	}
+	if c.Elite < 0 || c.Elite >= c.Population {
+		c.Elite = 2
+	}
+	if c.MutationRate <= 0 || c.MutationRate > 1 {
+		c.MutationRate = 0.3
+	}
+	if c.Tournament <= 0 {
+		c.Tournament = 3
+	}
+	if c.MaxEvaluations <= 0 {
+		c.MaxEvaluations = 20000
+	}
+	return c
+}
+
+// Stats reports what the GA did.
+type Stats struct {
+	Evaluations int
+	Generations int
+}
+
+// Ops supplies the problem-specific genetic operators over genome G.
+type Ops[G any] struct {
+	// NewIndividual creates a random valid genome.
+	NewIndividual func(*rand.Rand) G
+	// Fitness scores a genome; lower is better.
+	Fitness func(G) float64
+	// Crossover combines two parents into a child (must not alias parents).
+	Crossover func(a, b G, rng *rand.Rand) G
+	// Mutate perturbs a genome in place or returns a modified copy.
+	Mutate func(G, *rand.Rand) G
+}
+
+type scored[G any] struct {
+	g G
+	f float64
+}
+
+// Minimize evolves a population and returns the best genome found, its
+// fitness, and statistics.
+func Minimize[G any](cfg Config, ops Ops[G]) (G, float64, Stats) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := Stats{}
+
+	pop := make([]scored[G], cfg.Population)
+	for i := range pop {
+		g := ops.NewIndividual(rng)
+		pop[i] = scored[G]{g, ops.Fitness(g)}
+		st.Evaluations++
+	}
+	sortPop(pop)
+
+	for gen := 0; gen < cfg.Generations && st.Evaluations < cfg.MaxEvaluations; gen++ {
+		next := make([]scored[G], 0, cfg.Population)
+		next = append(next, pop[:cfg.Elite]...)
+		for len(next) < cfg.Population && st.Evaluations < cfg.MaxEvaluations {
+			a := tournament(pop, cfg.Tournament, rng)
+			b := tournament(pop, cfg.Tournament, rng)
+			child := ops.Crossover(a.g, b.g, rng)
+			if rng.Float64() < cfg.MutationRate {
+				child = ops.Mutate(child, rng)
+			}
+			next = append(next, scored[G]{child, ops.Fitness(child)})
+			st.Evaluations++
+		}
+		pop = next
+		sortPop(pop)
+		st.Generations++
+	}
+	return pop[0].g, pop[0].f, st
+}
+
+func sortPop[G any](pop []scored[G]) {
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].f < pop[j].f })
+}
+
+func tournament[G any](pop []scored[G], k int, rng *rand.Rand) scored[G] {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.f < best.f {
+			best = c
+		}
+	}
+	return best
+}

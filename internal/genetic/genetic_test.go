@@ -1,0 +1,93 @@
+package genetic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bitOps builds operators for minimizing the number of 1-bits differing
+// from a target pattern (onemax-style).
+func bitOps(target uint32) Ops[uint32] {
+	return Ops[uint32]{
+		NewIndividual: func(r *rand.Rand) uint32 { return r.Uint32() },
+		Fitness: func(g uint32) float64 {
+			return float64(popcount(g ^ target))
+		},
+		Crossover: func(a, b uint32, r *rand.Rand) uint32 {
+			mask := r.Uint32()
+			return (a & mask) | (b &^ mask)
+		},
+		Mutate: func(g uint32, r *rand.Rand) uint32 {
+			return g ^ (1 << uint(r.Intn(32)))
+		},
+	}
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func TestMinimizeBits(t *testing.T) {
+	best, f, st := Minimize(Config{Seed: 5, Generations: 200, MaxEvaluations: 15000}, bitOps(0xDEADBEEF))
+	if f > 2 {
+		t.Fatalf("fitness = %v (best %x), want <= 2", f, best)
+	}
+	if st.Evaluations == 0 || st.Generations == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint32, float64) {
+		b, f, _ := Minimize(Config{Seed: 11}, bitOps(0x12345678))
+		return b, f
+	}
+	b1, f1 := run()
+	b2, f2 := run()
+	if b1 != b2 || f1 != f2 {
+		t.Fatal("nondeterministic for fixed seed")
+	}
+}
+
+func TestEvaluationCap(t *testing.T) {
+	calls := 0
+	ops := bitOps(0)
+	inner := ops.Fitness
+	ops.Fitness = func(g uint32) float64 { calls++; return inner(g) }
+	_, _, st := Minimize(Config{Seed: 1, MaxEvaluations: 300, Generations: 1000}, ops)
+	if calls > 300 || st.Evaluations != calls {
+		t.Fatalf("calls = %d, reported %d", calls, st.Evaluations)
+	}
+}
+
+func TestEliteNeverRegresses(t *testing.T) {
+	// Track the best fitness across generations via a wrapper: with elitism
+	// the final best must be <= any earlier best.
+	bestSeen := math.Inf(1)
+	ops := bitOps(0xFFFFFFFF)
+	inner := ops.Fitness
+	ops.Fitness = func(g uint32) float64 {
+		f := inner(g)
+		if f < bestSeen {
+			bestSeen = f
+		}
+		return f
+	}
+	_, f, _ := Minimize(Config{Seed: 2, Generations: 50}, ops)
+	if f != bestSeen {
+		t.Fatalf("final best %v != best ever seen %v (elitism lost it)", f, bestSeen)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Population <= 1 || cfg.Generations <= 0 || cfg.Tournament <= 0 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}

@@ -1,0 +1,181 @@
+package monitor
+
+import (
+	"math/rand"
+
+	"cbes/internal/des"
+	"cbes/internal/simnet"
+	"cbes/internal/vcluster"
+)
+
+// Snapshot is an on-demand picture of cluster resource availability — the
+// input the CBES core combines with profiles and mapping definitions. One
+// entry per node.
+type Snapshot struct {
+	At       des.Time
+	AvailCPU []float64 // forecast CPU availability a new task would see (ACPU_j)
+	NICUtil  []float64 // forecast utilization of the node's edge link [0,1)
+}
+
+// Clone deep-copies the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	return &Snapshot{
+		At:       s.At,
+		AvailCPU: append([]float64(nil), s.AvailCPU...),
+		NICUtil:  append([]float64(nil), s.NICUtil...),
+	}
+}
+
+// IdleSnapshot returns the snapshot of a perfectly idle n-node cluster.
+func IdleSnapshot(n int) *Snapshot {
+	s := &Snapshot{AvailCPU: make([]float64, n), NICUtil: make([]float64, n)}
+	for i := range s.AvailCPU {
+		s.AvailCPU[i] = 1.0
+	}
+	return s
+}
+
+// Style selects the forecasting style of a SystemMonitor.
+type Style int
+
+// Forecasting styles of the two prototypes.
+const (
+	// StyleLastValue is the Orange Grove prototype: the latest measured
+	// value is taken as valid for the next period.
+	StyleLastValue Style = iota
+	// StyleNWS is the Centurion prototype: adaptive multi-predictor
+	// forecasting in the manner of the Network Weather Service.
+	StyleNWS
+)
+
+// Config tunes a SystemMonitor.
+type Config struct {
+	Style    Style
+	Interval des.Time // sampling period (default 1 s)
+	// Noise is the relative standard deviation of sensor measurement error
+	// (default 0.01). Sensors on real systems never read ground truth
+	// exactly.
+	Noise float64
+	// Seed drives the sensor noise generator.
+	Seed int64
+}
+
+func (c Config) interval() des.Time {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return des.Second
+}
+
+func (c Config) noise() float64 {
+	if c.Noise > 0 {
+		return c.Noise
+	}
+	return 0.01
+}
+
+// SystemMonitor owns the per-node sensors and daemons. It is the
+// system-dedicated half of the CBES infrastructure (§2).
+type SystemMonitor struct {
+	vc   *vcluster.Cluster
+	net  *simnet.Network
+	cfg  Config
+	cpuF []Forecaster
+	nicF []Forecaster
+	// lastBusy remembers per-node edge-link busy time at the previous
+	// sample, to compute utilization over the sampling window.
+	lastBusy []des.Time
+	edge     []int
+	daemon   *des.Proc
+	samples  uint64
+}
+
+// NewSystemMonitor attaches sensors to every node of the virtual cluster
+// and starts the sampling daemon. Call Stop (or eng.Shutdown) to reap it.
+func NewSystemMonitor(vc *vcluster.Cluster, net *simnet.Network, cfg Config) *SystemMonitor {
+	n := vc.Topo.NumNodes()
+	m := &SystemMonitor{
+		vc:       vc,
+		net:      net,
+		cfg:      cfg,
+		cpuF:     make([]Forecaster, n),
+		nicF:     make([]Forecaster, n),
+		lastBusy: make([]des.Time, n),
+		edge:     make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		m.edge[i] = net.EdgeLink(i)
+		switch cfg.Style {
+		case StyleNWS:
+			m.cpuF[i] = NewAdaptive()
+			m.nicF[i] = NewAdaptive()
+		default:
+			m.cpuF[i] = NewLastValue()
+			m.nicF[i] = NewLastValue()
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x5eed))
+	// Take an immediate first sample so snapshots never rest on forecaster
+	// priors (a fresh LastValue would otherwise report 100 % NIC
+	// utilization for an idle link).
+	m.sample(rng)
+	m.daemon = vc.Eng.Spawn("sysmon", func(p *des.Proc) {
+		for {
+			p.Sleep(m.cfg.interval())
+			m.sample(rng)
+		}
+	})
+	return m
+}
+
+// sample reads every node's sensors once.
+func (m *SystemMonitor) sample(rng *rand.Rand) {
+	window := m.cfg.interval().Seconds()
+	for i := range m.cpuF {
+		// CPU sensor: what share would a new process get right now.
+		truth := m.vc.CPU(i).AvailableToNewTask()
+		v := truth * (1 + m.cfg.noise()*rng.NormFloat64())
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		m.cpuF[i].Update(v)
+
+		// NIC sensor: edge-link utilization over the last window (both
+		// directions, normalized to 2x window for full duplex).
+		busy := m.net.LinkBusy(m.edge[i])
+		du := (busy - m.lastBusy[i]).Seconds() / (2 * window)
+		m.lastBusy[i] = busy
+		if du < 0 {
+			du = 0
+		}
+		if du > 1 {
+			du = 1
+		}
+		m.nicF[i].Update(du)
+	}
+	m.samples++
+}
+
+// Samples reports how many sampling rounds have completed.
+func (m *SystemMonitor) Samples() uint64 { return m.samples }
+
+// Stop kills the sampling daemon. Must be called from outside engine
+// context only after the engine has stopped, or from engine context.
+func (m *SystemMonitor) Stop() { m.daemon.Kill() }
+
+// Snapshot assembles the current cluster-wide forecast. The cost is O(N)
+// in the number of nodes: this, combined with the path-class latency model
+// (internal/netmodel), is the paper's O(N) approximation of cluster
+// resource availability.
+func (m *SystemMonitor) Snapshot() *Snapshot {
+	n := len(m.cpuF)
+	s := &Snapshot{At: m.vc.Eng.Now(), AvailCPU: make([]float64, n), NICUtil: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.AvailCPU[i] = m.cpuF[i].Forecast()
+		s.NICUtil[i] = m.nicF[i].Forecast()
+	}
+	return s
+}

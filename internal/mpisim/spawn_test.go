@@ -1,0 +1,73 @@
+package mpisim
+
+import (
+	"testing"
+)
+
+func TestDynamicWorldSpawn(t *testing.T) {
+	vc, net := newWorldEnv()
+	childDone := false
+	parentSaw := false
+	res := Run(vc, net, []int{0, 1}, func(r *Rank) {
+		if r.ID() == 0 {
+			// MPI-2-style dynamic process creation: rank 0 launches a
+			// 2-rank child application on other nodes and joins it.
+			child := r.SpawnWorld([]int{2, 3}, func(c *Rank) {
+				c.Compute(0.5)
+				if c.ID() == 0 {
+					c.Send(1, 1024)
+				} else {
+					c.Recv(0)
+				}
+				childDone = true
+			}, Options{AppName: "child"})
+			r.Compute(0.1)
+			r.AwaitWorld(child)
+			parentSaw = child.Done()
+		}
+		r.Barrier()
+	}, Options{AppName: "parent"})
+
+	if !childDone {
+		t.Fatal("child world never ran")
+	}
+	if !parentSaw {
+		t.Fatal("AwaitWorld returned before the child finished")
+	}
+	// Parent elapsed covers the child's 0.5s compute.
+	if res.Elapsed.Seconds() < 0.5 {
+		t.Fatalf("parent elapsed %v should cover the awaited child", res.Elapsed)
+	}
+	// The parent rank's wait is accounted as blocked time.
+	p0 := res.Trace.Segments[0].Procs[0]
+	if p0.Blocked.Seconds() < 0.3 {
+		t.Fatalf("parent blocked only %v while awaiting child", p0.Blocked)
+	}
+}
+
+func TestAwaitFinishedWorldReturnsImmediately(t *testing.T) {
+	vc, net := newWorldEnv()
+	Run(vc, net, []int{0}, func(r *Rank) {
+		child := r.SpawnWorld([]int{1}, func(c *Rank) { c.Compute(0.01) }, Options{})
+		r.Compute(1.0) // child certainly finished by now
+		before := r.Now()
+		r.AwaitWorld(child)
+		if r.Now() != before {
+			t.Error("await of a finished world should not block")
+		}
+	}, Options{})
+}
+
+func TestSpawnedWorldContendsWithParent(t *testing.T) {
+	// Child mapped onto the parent's own node: CPU sharing slows both.
+	vc, net := newWorldEnv()
+	res := Run(vc, net, []int{0}, func(r *Rank) {
+		child := r.SpawnWorld([]int{0}, func(c *Rank) { c.Compute(1.0) }, Options{})
+		r.Compute(1.0)
+		r.AwaitWorld(child)
+	}, Options{})
+	// Two 1s tasks timesharing one CPU: ~2s total.
+	if got := res.Elapsed.Seconds(); got < 1.9 {
+		t.Fatalf("elapsed %v: no contention between parent and child", got)
+	}
+}

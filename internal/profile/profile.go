@@ -1,0 +1,176 @@
+// Package profile implements the application-dedicated half of the CBES
+// infrastructure: application profiles extracted from execution traces.
+//
+// An application profile is "a summary of an application's behavior" (§2):
+// for every process it records the accumulated own-code time X, the
+// message-passing overhead time O, the blocked time B, the sets of
+// same-size message groups exchanged with every peer, and — once the
+// network model is available — the communication correction factor λ of
+// eq. 7. For heterogeneous clusters it also carries the experimentally
+// measured per-architecture compute-speed ratios.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cbes/internal/cluster"
+	"cbes/internal/netmodel"
+	"cbes/internal/trace"
+)
+
+// ProcProfile summarises one process within one segment.
+type ProcProfile struct {
+	Rank int     `json:"rank"`
+	X    float64 `json:"x"` // s executing own code
+	O    float64 `json:"o"` // s executing message-passing library code
+	B    float64 `json:"b"` // s blocked on communication
+	// Sends and Recvs are the same-size message groups (mgS/mgR of eq. 6).
+	Sends []trace.MsgGroup `json:"sends"`
+	Recvs []trace.MsgGroup `json:"recvs"`
+	// Lambda is the correction factor λ_i = B_i / Θ_i^profile (eq. 7),
+	// filled in by ComputeLambdas. Zero when the process does not
+	// communicate.
+	Lambda float64 `json:"lambda"`
+	// ProfNode is the node the process was profiled on; ProfSpeed the
+	// application's measured speed there (Speed_profile of eq. 5).
+	ProfNode  int     `json:"prof_node"`
+	ProfSpeed float64 `json:"prof_speed"`
+}
+
+// SegmentProfile is the profile of one application phase.
+type SegmentProfile struct {
+	Name  string        `json:"name"`
+	Procs []ProcProfile `json:"procs"`
+}
+
+// Profile is a complete application profile.
+type Profile struct {
+	App     string `json:"app"`
+	Cluster string `json:"cluster"`
+	Ranks   int    `json:"ranks"`
+	// Mapping is the rank->node assignment used while profiling.
+	Mapping []int `json:"mapping"`
+	// ArchSpeed holds the application's measured compute speed on each
+	// architecture, relative to the reference (bench.MeasureArchSpeeds).
+	ArchSpeed map[cluster.Arch]float64 `json:"arch_speed"`
+	Segments  []SegmentProfile         `json:"segments"`
+	// LambdasReady records whether ComputeLambdas ran.
+	LambdasReady bool `json:"lambdas_ready"`
+}
+
+// FromTrace analyses an execution trace into a profile. archSpeed carries
+// the measured per-architecture speeds of this application; the profiling
+// node's speed is looked up there.
+func FromTrace(tr *trace.Trace, topo *cluster.Topology, archSpeed map[cluster.Arch]float64) (*Profile, error) {
+	if tr.Cluster != topo.Name {
+		return nil, fmt.Errorf("profile: trace from cluster %q, topology is %q", tr.Cluster, topo.Name)
+	}
+	p := &Profile{
+		App:       tr.App,
+		Cluster:   tr.Cluster,
+		Ranks:     tr.Ranks,
+		Mapping:   append([]int(nil), tr.Mapping...),
+		ArchSpeed: map[cluster.Arch]float64{},
+	}
+	for a, s := range archSpeed {
+		p.ArchSpeed[a] = s
+	}
+	for _, seg := range tr.Segments {
+		sp := SegmentProfile{Name: seg.Name}
+		for _, pt := range seg.Procs {
+			arch := topo.Node(pt.Node).Arch
+			speed, ok := p.ArchSpeed[arch]
+			if !ok {
+				return nil, fmt.Errorf("profile: no measured speed for architecture %q", arch)
+			}
+			sp.Procs = append(sp.Procs, ProcProfile{
+				Rank:      pt.Rank,
+				X:         pt.Run.Seconds(),
+				O:         pt.Overhead.Seconds(),
+				B:         pt.Blocked.Seconds(),
+				Sends:     append([]trace.MsgGroup(nil), pt.Sends...),
+				Recvs:     append([]trace.MsgGroup(nil), pt.Recvs...),
+				ProfNode:  pt.Node,
+				ProfSpeed: speed,
+			})
+		}
+		p.Segments = append(p.Segments, sp)
+	}
+	return p, nil
+}
+
+// Theta computes the theoretical communication time Θ_i of eq. 6 for one
+// process under an arbitrary mapping (rank -> node), using the supplied
+// latency function (no-load or load-adjusted).
+func Theta(pp *ProcProfile, mapping []int, lat func(srcNode, dstNode int, size int64) float64) float64 {
+	my := mapping[pp.Rank]
+	theta := 0.0
+	for _, g := range pp.Recvs {
+		theta += float64(g.Count) * lat(mapping[g.Peer], my, g.Size)
+	}
+	for _, g := range pp.Sends {
+		theta += float64(g.Count) * lat(my, mapping[g.Peer], g.Size)
+	}
+	return theta
+}
+
+// ComputeLambdas fills in λ_i for every process and segment using the
+// profiling mapping and the no-load latency model — the conditions the
+// paper's Θ^profile is defined under (eq. 7). The set Λ is constant and
+// characteristic for the profile.
+func (p *Profile) ComputeLambdas(model *netmodel.Model) error {
+	for si := range p.Segments {
+		for pi := range p.Segments[si].Procs {
+			pp := &p.Segments[si].Procs[pi]
+			theta := Theta(pp, p.Mapping, model.NoLoad)
+			if theta <= 0 {
+				pp.Lambda = 0
+				continue
+			}
+			pp.Lambda = pp.B / theta
+		}
+	}
+	p.LambdasReady = true
+	return nil
+}
+
+// CommFraction reports the fraction of the profiled execution spent on
+// communication (B against X+O+B), aggregated over segments for the
+// critical (slowest) process — the computation-to-communication ratio the
+// paper uses when discussing CBES suitability (§6.2).
+func (p *Profile) CommFraction() float64 {
+	totalBusy, totalB := 0.0, 0.0
+	for _, seg := range p.Segments {
+		// Use the process with the largest busy time as representative.
+		bi, best := -1, 0.0
+		for i, pp := range seg.Procs {
+			busy := pp.X + pp.O + pp.B
+			if busy > best {
+				best, bi = busy, i
+			}
+		}
+		if bi >= 0 {
+			pp := seg.Procs[bi]
+			totalBusy += pp.X + pp.O + pp.B
+			totalB += pp.B
+		}
+	}
+	if totalBusy == 0 {
+		return 0
+	}
+	return totalB / totalBusy
+}
+
+// Encode writes the profile as JSON.
+func (p *Profile) Encode(w io.Writer) error { return json.NewEncoder(w).Encode(p) }
+
+// Decode reads a profile written by Encode.
+func Decode(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	return &p, nil
+}

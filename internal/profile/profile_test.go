@@ -1,0 +1,177 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cbes/internal/bench"
+	"cbes/internal/cluster"
+	"cbes/internal/des"
+	"cbes/internal/mpisim"
+	"cbes/internal/simnet"
+	"cbes/internal/trace"
+	"cbes/internal/vcluster"
+)
+
+// runTestApp executes a small two-phase app and returns its trace.
+func runTestApp(t *testing.T, topo *cluster.Topology, mapping []int) *trace.Trace {
+	t.Helper()
+	eng := des.NewEngine()
+	vc := vcluster.New(eng, topo)
+	net := simnet.New(eng, topo)
+	res := mpisim.Run(vc, net, mapping, func(r *mpisim.Rank) {
+		r.Compute(0.2)
+		for i := 0; i < 10; i++ {
+			if r.ID() == 0 {
+				r.Send(1, 4096)
+				r.Recv(1)
+			} else {
+				r.Recv(0)
+				r.Send(0, 4096)
+			}
+			r.Compute(0.01)
+		}
+	}, mpisim.Options{AppName: "profiled"})
+	return res.Trace
+}
+
+func TestFromTraceBasics(t *testing.T) {
+	topo := cluster.NewTestTopology()
+	tr := runTestApp(t, topo, []int{0, 1})
+	speeds := bench.MeasureArchSpeeds(topo, nil, 0.2)
+	p, err := FromTrace(tr, topo, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.App != "profiled" || p.Ranks != 2 {
+		t.Fatalf("header: %+v", p)
+	}
+	pp := p.Segments[0].Procs[0]
+	// 0.2 + 10*0.01 = 0.3 ref-seconds on an Alpha (speed 1) at idle.
+	if math.Abs(pp.X-0.3) > 1e-3 {
+		t.Fatalf("X = %v, want ≈0.3", pp.X)
+	}
+	if pp.O <= 0 || pp.B <= 0 {
+		t.Fatalf("O = %v, B = %v must be positive", pp.O, pp.B)
+	}
+	if len(pp.Sends) != 1 || pp.Sends[0].Count != 10 || pp.Sends[0].Size != 4096 {
+		t.Fatalf("send groups: %+v", pp.Sends)
+	}
+	if pp.ProfNode != 0 || math.Abs(pp.ProfSpeed-1.0) > 1e-6 {
+		t.Fatalf("prof node/speed: %+v", pp)
+	}
+}
+
+func TestFromTraceRejectsWrongCluster(t *testing.T) {
+	topo := cluster.NewTestTopology()
+	tr := runTestApp(t, topo, []int{0, 1})
+	if _, err := FromTrace(tr, cluster.NewOrangeGrove(), map[cluster.Arch]float64{}); err == nil {
+		t.Fatal("expected cluster mismatch error")
+	}
+	// Missing arch speed must error too.
+	if _, err := FromTrace(tr, topo, map[cluster.Arch]float64{}); err == nil {
+		t.Fatal("expected missing arch speed error")
+	}
+}
+
+func TestComputeLambdas(t *testing.T) {
+	topo := cluster.NewTestTopology()
+	model := bench.Calibrate(topo, bench.Options{Reps: 5, SkipLoadFit: true})
+	tr := runTestApp(t, topo, []int{0, 1})
+	speeds := bench.MeasureArchSpeeds(topo, nil, 0.2)
+	p, err := FromTrace(tr, topo, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ComputeLambdas(model); err != nil {
+		t.Fatal(err)
+	}
+	if !p.LambdasReady {
+		t.Fatal("LambdasReady not set")
+	}
+	for _, pp := range p.Segments[0].Procs {
+		if pp.Lambda <= 0 {
+			t.Fatalf("rank %d lambda = %v, want > 0 for a communicating app", pp.Rank, pp.Lambda)
+		}
+		// Strict alternation: blocking dominates, so λ should be around 1
+		// (receives wait for the full latency; some overlap with overhead).
+		if pp.Lambda < 0.3 || pp.Lambda > 3 {
+			t.Fatalf("rank %d lambda = %v, implausible for ping-pong", pp.Rank, pp.Lambda)
+		}
+	}
+}
+
+func TestLambdaZeroForNoComm(t *testing.T) {
+	topo := cluster.NewTestTopology()
+	model := bench.Calibrate(topo, bench.Options{Reps: 3, Sizes: []int64{64}, SkipLoadFit: true})
+	eng := des.NewEngine()
+	vc := vcluster.New(eng, topo)
+	net := simnet.New(eng, topo)
+	res := mpisim.Run(vc, net, []int{0, 1}, func(r *mpisim.Rank) { r.Compute(0.1) }, mpisim.Options{})
+	speeds := bench.MeasureArchSpeeds(topo, nil, 0.1)
+	p, err := FromTrace(res.Trace, topo, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ComputeLambdas(model); err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range p.Segments[0].Procs {
+		if pp.Lambda != 0 {
+			t.Fatalf("lambda = %v for non-communicating process", pp.Lambda)
+		}
+	}
+	if p.CommFraction() != 0 {
+		t.Fatalf("comm fraction = %v", p.CommFraction())
+	}
+}
+
+func TestThetaMappingSensitivity(t *testing.T) {
+	topo := cluster.NewTestTopology()
+	model := bench.Calibrate(topo, bench.Options{Reps: 5, SkipLoadFit: true})
+	tr := runTestApp(t, topo, []int{0, 1})
+	speeds := bench.MeasureArchSpeeds(topo, nil, 0.2)
+	p, _ := FromTrace(tr, topo, speeds)
+	pp := &p.Segments[0].Procs[0]
+	sameSwitch := Theta(pp, []int{0, 1}, model.NoLoad)
+	crossSwitch := Theta(pp, []int{0, 4}, model.NoLoad)
+	if crossSwitch <= sameSwitch {
+		t.Fatalf("Θ cross-switch (%v) must exceed same-switch (%v)", crossSwitch, sameSwitch)
+	}
+}
+
+func TestCommFraction(t *testing.T) {
+	topo := cluster.NewTestTopology()
+	tr := runTestApp(t, topo, []int{0, 1})
+	speeds := bench.MeasureArchSpeeds(topo, nil, 0.2)
+	p, _ := FromTrace(tr, topo, speeds)
+	f := p.CommFraction()
+	if f <= 0 || f >= 1 {
+		t.Fatalf("comm fraction = %v, want in (0,1)", f)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	topo := cluster.NewTestTopology()
+	tr := runTestApp(t, topo, []int{0, 1})
+	speeds := bench.MeasureArchSpeeds(topo, nil, 0.2)
+	p, _ := FromTrace(tr, topo, speeds)
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.App != p.App || len(q.Segments) != len(p.Segments) {
+		t.Fatalf("round trip: %+v", q)
+	}
+	if q.ArchSpeed[cluster.ArchAlpha] != p.ArchSpeed[cluster.ArchAlpha] {
+		t.Fatal("arch speeds lost")
+	}
+	if _, err := Decode(bytes.NewBufferString("]")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

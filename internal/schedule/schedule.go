@@ -1,0 +1,400 @@
+// Package schedule implements the CBES-supported schedulers of §6:
+//
+//   - CS  — the default CBES scheduler: simulated annealing with the full
+//     mapping-evaluation operation (eq. 4) as energy function;
+//   - NCS — the same simulated annealing but with a cost function that
+//     ignores the communication term (eq. 8): it scores mappings by
+//     computation speed and CPU load only and cannot predict times;
+//   - RS  — a simple random scheduler that picks any valid mapping from a
+//     pool of nodes considered equivalent;
+//   - GA  — a genetic-algorithm scheduler (the paper's future work);
+//   - Exhaustive — full enumeration for small pools, used to establish
+//     ground-truth best/worst mappings in the evaluation.
+//
+// All schedulers respect an administrative node pool and a per-node slot
+// capacity, and are deterministic for a fixed seed.
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"cbes/internal/anneal"
+	"cbes/internal/core"
+	"cbes/internal/genetic"
+	"cbes/internal/monitor"
+)
+
+// Request describes one scheduling problem.
+type Request struct {
+	// Eval is the full CBES evaluator for the application (CS). NCS derives
+	// its communication-blind evaluator from it internally.
+	Eval *core.Evaluator
+	// Snap is the resource snapshot to schedule against.
+	Snap *monitor.Snapshot
+	// Pool lists candidate node IDs (administrative policy). Must be
+	// non-empty.
+	Pool []int
+	// SlotsPerNode caps ranks per node. 0 means one rank per node (the
+	// paper's usage); set to the node CPU count to allow co-scheduling.
+	SlotsPerNode int
+	// Seed drives scheduler randomness.
+	Seed int64
+	// Effort scales search effort: total energy evaluations
+	// (default 4000 for SA and GA).
+	Effort int
+	// Restarts splits the SA effort across independent anneals from
+	// different random initial mappings, keeping the best (default 4).
+	// Deep local optima — e.g. a fast-architecture island behind a slow
+	// uplink — trap single anneals occasionally; restarts recover most of
+	// them, mirroring the ~90% hit rate of the paper's CS.
+	Restarts int
+	// Maximize searches for the worst mapping instead of the best — used
+	// by the worst-vs-best evaluation scenarios.
+	Maximize bool
+	// Constraint, when non-nil, restricts the search to mappings for which
+	// it returns true (e.g. "must include a SPARC node" to stay
+	// representative of a node group). Unsatisfying mappings receive a
+	// large energy penalty; Random resamples until satisfied.
+	Constraint func(core.Mapping) bool
+}
+
+// constraintPenalty dominates any realistic execution-time energy.
+const constraintPenalty = 1e9
+
+func (r *Request) effort() int {
+	if r.Effort > 0 {
+		return r.Effort
+	}
+	return 4000
+}
+
+func (r *Request) slots() int {
+	if r.SlotsPerNode > 0 {
+		return r.SlotsPerNode
+	}
+	return 1
+}
+
+func (r *Request) ranks() int { return r.Eval.Prof.Ranks }
+
+func (r *Request) validate() error {
+	if r.Eval == nil || r.Snap == nil {
+		return fmt.Errorf("schedule: request needs Eval and Snap")
+	}
+	if len(r.Pool) == 0 {
+		return fmt.Errorf("schedule: empty node pool")
+	}
+	if len(r.Pool)*r.slots() < r.ranks() {
+		return fmt.Errorf("schedule: pool capacity %d < %d ranks",
+			len(r.Pool)*r.slots(), r.ranks())
+	}
+	return nil
+}
+
+// Decision is a scheduler's answer.
+type Decision struct {
+	Mapping core.Mapping
+	// Predicted is the full CBES execution-time prediction for the chosen
+	// mapping (computed with the full evaluator even for NCS and RS, as the
+	// paper does to normalize comparisons).
+	Predicted float64
+	// Score is the value of the scheduler's own cost function (equals
+	// Predicted for CS; communication-blind for NCS; NaN for RS).
+	Score float64
+	// Evaluations counts cost-function calls.
+	Evaluations int
+	// SchedulerTime is the real (host) time the search took — the
+	// scheduling overhead column of tables 1 and 3.
+	SchedulerTime time.Duration
+}
+
+// randomMapping draws a uniformly random valid mapping.
+func randomMapping(req *Request, rng *rand.Rand) core.Mapping {
+	slots := req.slots()
+	m := make(core.Mapping, req.ranks())
+	used := map[int]int{}
+	for i := range m {
+		for {
+			n := req.Pool[rng.Intn(len(req.Pool))]
+			if used[n] < slots {
+				m[i] = n
+				used[n]++
+				break
+			}
+		}
+	}
+	return m
+}
+
+// neighbor proposes a small random modification: either move one rank to a
+// node with free capacity, or swap the nodes of two ranks.
+func neighbor(req *Request, m core.Mapping, rng *rand.Rand) core.Mapping {
+	slots := req.slots()
+	nm := m.Clone()
+	if rng.Intn(2) == 0 && len(m) >= 2 {
+		// Swap two ranks.
+		i, j := rng.Intn(len(nm)), rng.Intn(len(nm))
+		for j == i {
+			j = rng.Intn(len(nm))
+		}
+		nm[i], nm[j] = nm[j], nm[i]
+		return nm
+	}
+	// Move one rank to a node with spare capacity.
+	used := nm.Multiplicity()
+	i := rng.Intn(len(nm))
+	for attempts := 0; attempts < 8*len(req.Pool); attempts++ {
+		n := req.Pool[rng.Intn(len(req.Pool))]
+		if n != nm[i] && used[n] < slots {
+			nm[i] = n
+			return nm
+		}
+	}
+	return nm // saturated pool: fall back to unchanged (swap next time)
+}
+
+// predictFull evaluates a mapping with the full CBES operation.
+func predictFull(req *Request, m core.Mapping) float64 {
+	p, err := req.Eval.Predict(m, req.Snap)
+	if err != nil {
+		panic(fmt.Sprintf("schedule: predict: %v", err))
+	}
+	return p.Seconds
+}
+
+// Random is the RS scheduler: an arbitrary valid mapping, no evaluation.
+func Random(req *Request) (*Decision, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rng := rand.New(rand.NewSource(req.Seed))
+	m := randomMapping(req, rng)
+	for attempts := 0; req.Constraint != nil && !req.Constraint(m); attempts++ {
+		if attempts > 10000 {
+			return nil, fmt.Errorf("schedule: constraint unsatisfiable by random sampling")
+		}
+		m = randomMapping(req, rng)
+	}
+	d := &Decision{
+		Mapping:       m,
+		Predicted:     predictFull(req, m),
+		Score:         math.NaN(),
+		SchedulerTime: time.Since(start),
+	}
+	return d, nil
+}
+
+// saSchedule runs simulated annealing over mappings with the given energy,
+// restarting from independent random initials and keeping the best.
+func saSchedule(req *Request, energy func(core.Mapping) float64) (core.Mapping, float64, int) {
+	restarts := req.Restarts
+	if restarts <= 0 {
+		restarts = 4
+	}
+	sign := 1.0
+	if req.Maximize {
+		sign = -1.0
+	}
+	perRun := req.effort() / restarts
+	if perRun < 100 {
+		perRun = 100
+	}
+	var best core.Mapping
+	bestE := 0.0
+	evals := 0
+	penalized := func(m core.Mapping) float64 {
+		e := sign * energy(m)
+		if req.Constraint != nil && !req.Constraint(m) {
+			e += constraintPenalty
+		}
+		return e
+	}
+	for r := 0; r < restarts; r++ {
+		rng := rand.New(rand.NewSource(req.Seed + int64(1000*r)))
+		initial := randomMapping(req, rng)
+		m, e, st := anneal.Minimize(anneal.Config{
+			MaxEvaluations: perRun,
+			Seed:           req.Seed + int64(1000*r) + 1,
+		}, initial, penalized,
+			func(m core.Mapping, rr *rand.Rand) core.Mapping { return neighbor(req, m, rr) },
+		)
+		evals += st.Evaluations
+		if best == nil || e < bestE {
+			best, bestE = m, e
+		}
+	}
+	return best, sign * bestE, evals
+}
+
+// SimulatedAnnealing is the CS scheduler: SA with the full CBES
+// mapping-evaluation operation as energy function.
+func SimulatedAnnealing(req *Request) (*Decision, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	best, bestE, evals := saSchedule(req, func(m core.Mapping) float64 { return predictFull(req, m) })
+	return &Decision{
+		Mapping:       best,
+		Predicted:     bestE,
+		Score:         bestE,
+		Evaluations:   evals,
+		SchedulerTime: time.Since(start),
+	}, nil
+}
+
+// SimulatedAnnealingNoComm is the NCS scheduler: the same SA but its cost
+// function drops the communication term, so its score is not a time
+// prediction. The returned Decision's Predicted field is nevertheless
+// computed with the full evaluation, mirroring the paper's normalization
+// of NCS results.
+func SimulatedAnnealingNoComm(req *Request) (*Decision, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	blind := *req.Eval
+	blind.IgnoreComm = true
+	blindReq := *req
+	blindReq.Eval = &blind
+	best, bestE, evals := saSchedule(&blindReq, func(m core.Mapping) float64 {
+		p, err := blind.Predict(m, req.Snap)
+		if err != nil {
+			panic(err)
+		}
+		return p.Seconds
+	})
+	return &Decision{
+		Mapping:       best,
+		Predicted:     predictFull(req, best),
+		Score:         bestE,
+		Evaluations:   evals,
+		SchedulerTime: time.Since(start),
+	}, nil
+}
+
+// Genetic is the GA scheduler (future-work algorithm): evolves mappings
+// with uniform crossover repaired to respect slot capacities.
+func Genetic(req *Request) (*Decision, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sign := 1.0
+	if req.Maximize {
+		sign = -1.0
+	}
+	slots := req.slots()
+	repair := func(m core.Mapping, rng *rand.Rand) core.Mapping {
+		used := map[int]int{}
+		for i, n := range m {
+			if used[n] >= slots {
+				for {
+					c := req.Pool[rng.Intn(len(req.Pool))]
+					if used[c] < slots {
+						m[i] = c
+						n = c
+						break
+					}
+				}
+			}
+			used[n]++
+		}
+		return m
+	}
+	fitness := func(m core.Mapping) float64 {
+		f := sign * predictFull(req, m)
+		if req.Constraint != nil && !req.Constraint(m) {
+			f += constraintPenalty
+		}
+		return f
+	}
+	best, bestF, st := genetic.Minimize(genetic.Config{
+		Seed:           req.Seed,
+		MaxEvaluations: req.effort(),
+	}, genetic.Ops[core.Mapping]{
+		NewIndividual: func(rng *rand.Rand) core.Mapping { return randomMapping(req, rng) },
+		Fitness:       fitness,
+		Crossover: func(a, b core.Mapping, rng *rand.Rand) core.Mapping {
+			child := a.Clone()
+			for i := range child {
+				if rng.Intn(2) == 0 {
+					child[i] = b[i]
+				}
+			}
+			return repair(child, rng)
+		},
+		Mutate: func(m core.Mapping, rng *rand.Rand) core.Mapping {
+			return neighbor(req, m, rng)
+		},
+	})
+	return &Decision{
+		Mapping:       best,
+		Predicted:     sign * bestF,
+		Score:         sign * bestF,
+		Evaluations:   st.Evaluations,
+		SchedulerTime: time.Since(start),
+	}, nil
+}
+
+// Exhaustive enumerates every valid mapping (ranks placed on pool nodes,
+// respecting slots) and returns the true optimum. Use only for small
+// pools: the space is |Pool|^ranks before capacity pruning.
+func Exhaustive(req *Request) (*Decision, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	slots := req.slots()
+	best := core.Mapping(nil)
+	bestE := math.Inf(1)
+	if req.Maximize {
+		bestE = math.Inf(-1)
+	}
+	evals := 0
+	m := make(core.Mapping, req.ranks())
+	used := make(map[int]int)
+	var walk func(rank int)
+	walk = func(rank int) {
+		if rank == len(m) {
+			if req.Constraint != nil && !req.Constraint(m) {
+				return
+			}
+			e := predictFull(req, m)
+			evals++
+			better := e < bestE
+			if req.Maximize {
+				better = e > bestE
+			}
+			if better {
+				bestE = e
+				best = m.Clone()
+			}
+			return
+		}
+		for _, n := range req.Pool {
+			if used[n] >= slots {
+				continue
+			}
+			used[n]++
+			m[rank] = n
+			walk(rank + 1)
+			used[n]--
+		}
+	}
+	walk(0)
+	if best == nil {
+		return nil, fmt.Errorf("schedule: no feasible mapping")
+	}
+	return &Decision{
+		Mapping:       best,
+		Predicted:     bestE,
+		Score:         bestE,
+		Evaluations:   evals,
+		SchedulerTime: time.Since(start),
+	}, nil
+}

@@ -1,0 +1,315 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"cbes/internal/bench"
+	"cbes/internal/cluster"
+	"cbes/internal/core"
+	"cbes/internal/des"
+	"cbes/internal/monitor"
+	"cbes/internal/mpisim"
+	"cbes/internal/profile"
+	"cbes/internal/simnet"
+	"cbes/internal/vcluster"
+)
+
+// ringApp is a 4-rank ring exchange with some compute: communication
+// matters, so mapping quality matters.
+func ringApp(r *mpisim.Rank) {
+	n := r.Size()
+	for i := 0; i < 15; i++ {
+		r.Compute(0.02)
+		right := (r.ID() + 1) % n
+		left := (r.ID() - 1 + n) % n
+		if r.ID()%2 == 0 {
+			r.Send(right, 32<<10)
+			r.Recv(left)
+		} else {
+			r.Recv(left)
+			r.Send(right, 32<<10)
+		}
+	}
+}
+
+type fixture struct {
+	topo *cluster.Topology
+	eval *core.Evaluator
+	snap *monitor.Snapshot
+}
+
+func newFixture(t *testing.T) *fixture {
+	return newFixtureOn(t, cluster.NewTestTopology())
+}
+
+// homogeneousTwoSwitch builds 8 Alpha nodes split over two switches: all
+// nodes are computationally equivalent, so only communication
+// (same-switch vs. cross-switch placement) separates mappings. This is the
+// setting where NCS degenerates to random selection (§6).
+func homogeneousTwoSwitch(t *testing.T) *cluster.Topology {
+	t.Helper()
+	b := cluster.NewBuilder("homo2sw")
+	swA := b.Switch("swA", "3com-100", 24)
+	swB := b.Switch("swB", "3com-100", 24)
+	b.Uplink(swA, swB, cluster.BandwidthFast100, 5*des.Microsecond)
+	for i := 0; i < 4; i++ {
+		b.Node("a", cluster.ArchAlpha, swA, cluster.BandwidthFast100, 5*des.Microsecond)
+	}
+	for i := 0; i < 4; i++ {
+		b.Node("b", cluster.ArchAlpha, swB, cluster.BandwidthFast100, 5*des.Microsecond)
+	}
+	return b.Build()
+}
+
+func newFixtureOn(t *testing.T, topo *cluster.Topology) *fixture {
+	t.Helper()
+	model := bench.Calibrate(topo, bench.Options{Reps: 4})
+	eng := des.NewEngine()
+	vc := vcluster.New(eng, topo)
+	net := simnet.New(eng, topo)
+	res := mpisim.Run(vc, net, []int{0, 1, 2, 3}, ringApp, mpisim.Options{AppName: "ring"})
+	speeds := bench.MeasureArchSpeeds(topo, nil, 0.2)
+	prof, err := profile.FromTrace(res.Trace, topo, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.ComputeLambdas(model); err != nil {
+		t.Fatal(err)
+	}
+	eval, err := core.NewEvaluator(topo, model, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{topo: topo, eval: eval, snap: monitor.IdleSnapshot(topo.NumNodes())}
+}
+
+func (f *fixture) request(pool []int, seed int64) *Request {
+	return &Request{Eval: f.eval, Snap: f.snap, Pool: pool, Seed: seed}
+}
+
+func allNodes(f *fixture) []int {
+	var pool []int
+	for i := 0; i < f.topo.NumNodes(); i++ {
+		pool = append(pool, i)
+	}
+	return pool
+}
+
+func TestRandomValidMapping(t *testing.T) {
+	f := newFixture(t)
+	d, err := Random(f.request(allNodes(f), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Mapping.Validate(f.topo); err != nil {
+		t.Fatal(err)
+	}
+	// One rank per node by default.
+	for _, c := range d.Mapping.Multiplicity() {
+		if c > 1 {
+			t.Fatalf("default slots violated: %v", d.Mapping)
+		}
+	}
+	if d.Predicted <= 0 {
+		t.Fatal("RS decision must still carry a full prediction")
+	}
+	if !math.IsNaN(d.Score) {
+		t.Fatal("RS has no cost function score")
+	}
+}
+
+func TestCSBeatsRandomOnAverage(t *testing.T) {
+	f := newFixture(t)
+	pool := allNodes(f)
+	var csSum, rsSum float64
+	const n = 10
+	for s := int64(0); s < n; s++ {
+		cs, err := SimulatedAnnealing(f.request(pool, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Random(f.request(pool, s+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		csSum += cs.Predicted
+		rsSum += rs.Predicted
+	}
+	if csSum >= rsSum {
+		t.Fatalf("CS average %v not better than RS average %v", csSum/n, rsSum/n)
+	}
+}
+
+func TestCSFindsKnownOptimum(t *testing.T) {
+	// Pool restricted to the four Alphas: the optimum keeps all ranks on
+	// one switch; every Alpha permutation is equivalent, so CS must land at
+	// the exhaustive optimum value.
+	f := newFixture(t)
+	pool := []int{0, 1, 2, 3}
+	ex, err := Exhaustive(f.request(pool, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := SimulatedAnnealing(f.request(pool, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := (cs.Predicted - ex.Predicted) / ex.Predicted; rel > 1e-9 {
+		t.Fatalf("CS %v vs exhaustive optimum %v", cs.Predicted, ex.Predicted)
+	}
+}
+
+func TestNCSBlindToCommunication(t *testing.T) {
+	// Mixed pool: NCS should find Alpha nodes (fast) but cannot prefer
+	// same-switch placements among equal-speed nodes; CS can. Over several
+	// seeds CS must never be worse and typically better.
+	f := newFixtureOn(t, homogeneousTwoSwitch(t))
+	pool := allNodes(f)
+	csBetter := 0
+	var csSum, ncsSum float64
+	for s := int64(0); s < 8; s++ {
+		cs, err := SimulatedAnnealing(f.request(pool, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncs, err := SimulatedAnnealingNoComm(f.request(pool, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		csSum += cs.Predicted
+		ncsSum += ncs.Predicted
+		if cs.Predicted < ncs.Predicted*0.999 {
+			csBetter++
+		}
+		// A single anneal can get trapped (the paper's CS hits ~90%), but
+		// CS must never be drastically worse than NCS.
+		if cs.Predicted > ncs.Predicted*1.25 {
+			t.Fatalf("seed %d: CS %v far worse than NCS %v", s, cs.Predicted, ncs.Predicted)
+		}
+		// NCS score must ignore communication: it is below the full
+		// prediction of its own mapping.
+		if ncs.Score >= ncs.Predicted {
+			t.Fatalf("NCS score %v not communication-blind (full %v)", ncs.Score, ncs.Predicted)
+		}
+	}
+	if csBetter == 0 {
+		t.Fatal("CS never beat NCS — communication term had no effect")
+	}
+	if csSum >= ncsSum {
+		t.Fatalf("CS average %v not better than NCS average %v", csSum/8, ncsSum/8)
+	}
+}
+
+func TestMaximizeFindsWorseMappingThanMinimize(t *testing.T) {
+	f := newFixture(t)
+	pool := allNodes(f)
+	best, err := SimulatedAnnealing(f.request(pool, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqW := f.request(pool, 3)
+	reqW.Maximize = true
+	worst, err := SimulatedAnnealing(reqW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Predicted <= best.Predicted {
+		t.Fatalf("worst %v <= best %v", worst.Predicted, best.Predicted)
+	}
+}
+
+func TestGeneticSchedulerWorks(t *testing.T) {
+	f := newFixture(t)
+	pool := allNodes(f)
+	ga, err := Genetic(f.request(pool, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ga.Mapping.Validate(f.topo); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := Random(f.request(pool, 6))
+	if ga.Predicted > rs.Predicted*1.2 {
+		t.Fatalf("GA (%v) much worse than random (%v)", ga.Predicted, rs.Predicted)
+	}
+	for _, c := range ga.Mapping.Multiplicity() {
+		if c > 1 {
+			t.Fatalf("GA violated slot capacity: %v", ga.Mapping)
+		}
+	}
+}
+
+func TestSlotsPerNodeCoScheduling(t *testing.T) {
+	f := newFixture(t)
+	// Only two dual-CPU nodes for four ranks: needs 2 slots per node.
+	req := f.request([]int{4, 5}, 1)
+	if _, err := SimulatedAnnealing(req); err == nil {
+		t.Fatal("expected capacity error with 1 slot per node")
+	}
+	req.SlotsPerNode = 2
+	d, err := SimulatedAnnealing(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mult := d.Mapping.Multiplicity()
+	if mult[4] != 2 || mult[5] != 2 {
+		t.Fatalf("mapping = %v", d.Mapping)
+	}
+}
+
+func TestExhaustiveMatchesBruteForceDirection(t *testing.T) {
+	f := newFixture(t)
+	pool := []int{0, 1, 4, 5}
+	min, err := Exhaustive(f.request(pool, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqMax := f.request(pool, 1)
+	reqMax.Maximize = true
+	max, err := Exhaustive(reqMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(min.Predicted < max.Predicted) {
+		t.Fatalf("exhaustive min %v !< max %v", min.Predicted, max.Predicted)
+	}
+	if min.Evaluations != max.Evaluations || min.Evaluations != 24 {
+		// 4 nodes, 4 ranks, 1 slot each: 4! = 24 mappings.
+		t.Fatalf("evaluations = %d, want 24", min.Evaluations)
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	f := newFixture(t)
+	pool := allNodes(f)
+	a, _ := SimulatedAnnealing(f.request(pool, 42))
+	b, _ := SimulatedAnnealing(f.request(pool, 42))
+	if !a.Mapping.Equal(b.Mapping) || a.Predicted != b.Predicted {
+		t.Fatal("CS nondeterministic for fixed seed")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := Random(&Request{Eval: f.eval, Snap: f.snap}); err == nil {
+		t.Fatal("empty pool should error")
+	}
+	if _, err := Random(&Request{Snap: f.snap, Pool: []int{0}}); err == nil {
+		t.Fatal("missing eval should error")
+	}
+	if _, err := Random(f.request([]int{0, 1}, 1)); err == nil {
+		t.Fatal("insufficient capacity should error")
+	}
+}
+
+func BenchmarkCS(b *testing.B) {
+	f := newFixture(&testing.T{})
+	pool := allNodes(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulatedAnnealing(f.request(pool, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package service exposes CBES as a network service: external clients
+// (such as schedulers or workload managers) submit mapping-comparison and
+// scheduling requests over TCP using Go's net/rpc, matching the paper's
+// design of a core module that "accepts mapping comparison requests from
+// external clients".
+package service
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"cbes"
+	"cbes/internal/core"
+	"cbes/internal/des"
+)
+
+// RPCName is the registered net/rpc service name.
+const RPCName = "CBES"
+
+// EvaluateArgs asks for an execution-time prediction of one mapping.
+type EvaluateArgs struct {
+	App     string
+	Mapping []int
+}
+
+// EvaluateReply carries the prediction.
+type EvaluateReply struct {
+	Seconds  float64
+	Critical int // rank attaining the per-segment max in the first segment
+}
+
+// ExplainArgs asks for a human-readable prediction breakdown.
+type ExplainArgs struct {
+	App     string
+	Mapping []int
+}
+
+// ExplainReply carries the rendered breakdown.
+type ExplainReply struct {
+	Seconds float64
+	Text    string
+}
+
+// CompareArgs asks for predictions of several candidate mappings.
+type CompareArgs struct {
+	App      string
+	Mappings [][]int
+}
+
+// CompareReply carries per-candidate predictions and the fastest index.
+type CompareReply struct {
+	Seconds []float64
+	Best    int
+}
+
+// ScheduleArgs asks the service to find a mapping.
+type ScheduleArgs struct {
+	App       string
+	Algorithm string // "cs", "ncs", "rs", "ga"
+	Pool      []int
+	Seed      int64
+}
+
+// ScheduleReply carries the chosen mapping.
+type ScheduleReply struct {
+	Mapping         []int
+	Predicted       float64
+	Evaluations     int
+	SchedulerMillis int64
+}
+
+// StatusArgs requests service status.
+type StatusArgs struct{}
+
+// StatusReply describes the service state.
+type StatusReply struct {
+	Cluster    string
+	Nodes      int
+	Apps       []string
+	SimSeconds float64
+	AvailCPU   []float64
+	NICUtil    []float64
+}
+
+// AdvanceArgs moves simulated time forward (demo control).
+type AdvanceArgs struct {
+	Seconds float64
+}
+
+// AdvanceReply reports the new simulated time.
+type AdvanceReply struct {
+	SimSeconds float64
+}
+
+// Server serves CBES requests for one System. All requests are serialized:
+// the simulation engine is single-threaded by design.
+type Server struct {
+	mu  sync.Mutex
+	sys *cbes.System
+}
+
+// NewServer wraps a System.
+func NewServer(sys *cbes.System) *Server { return &Server{sys: sys} }
+
+// Evaluate predicts the execution time of one mapping.
+func (s *Server) Evaluate(args *EvaluateArgs, reply *EvaluateReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pred, err := s.sys.Predict(args.App, core.Mapping(args.Mapping))
+	if err != nil {
+		return err
+	}
+	reply.Seconds = pred.Seconds
+	if len(pred.Segments) > 0 {
+		reply.Critical = pred.Segments[0].Critical
+	}
+	return nil
+}
+
+// Explain predicts one mapping and returns the per-process breakdown.
+func (s *Server) Explain(args *ExplainArgs, reply *ExplainReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pred, err := s.sys.Predict(args.App, core.Mapping(args.Mapping))
+	if err != nil {
+		return err
+	}
+	reply.Seconds = pred.Seconds
+	reply.Text = pred.Explain(s.sys.Topo)
+	return nil
+}
+
+// Compare predicts several mappings and selects the fastest.
+func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(args.Mappings) == 0 {
+		return fmt.Errorf("service: no mappings")
+	}
+	eval, err := s.sys.Evaluator(args.App)
+	if err != nil {
+		return err
+	}
+	ms := make([]core.Mapping, len(args.Mappings))
+	for i, m := range args.Mappings {
+		ms[i] = core.Mapping(m)
+	}
+	preds, best, err := eval.Compare(ms, s.sys.Snapshot())
+	if err != nil {
+		return err
+	}
+	reply.Seconds = make([]float64, len(preds))
+	for i, p := range preds {
+		reply.Seconds[i] = p.Seconds
+	}
+	reply.Best = best
+	return nil
+}
+
+// Schedule finds a mapping with the requested algorithm.
+func (s *Server) Schedule(args *ScheduleArgs, reply *ScheduleReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dec, err := s.sys.Schedule(args.App, cbes.Algorithm(args.Algorithm), args.Pool, args.Seed)
+	if err != nil {
+		return err
+	}
+	reply.Mapping = []int(dec.Mapping)
+	reply.Predicted = dec.Predicted
+	reply.Evaluations = dec.Evaluations
+	reply.SchedulerMillis = dec.SchedulerTime.Milliseconds()
+	return nil
+}
+
+// Status reports the service and cluster state.
+func (s *Server) Status(_ *StatusArgs, reply *StatusReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.sys.Snapshot()
+	reply.Cluster = s.sys.Topo.Name
+	reply.Nodes = s.sys.Topo.NumNodes()
+	reply.Apps = s.sys.Apps()
+	reply.SimSeconds = s.sys.Eng.Now().Seconds()
+	reply.AvailCPU = snap.AvailCPU
+	reply.NICUtil = snap.NICUtil
+	return nil
+}
+
+// Advance moves simulated time forward so monitors resample.
+func (s *Server) Advance(args *AdvanceArgs, reply *AdvanceReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if args.Seconds < 0 {
+		return fmt.Errorf("service: negative advance")
+	}
+	s.sys.Advance(des.FromSeconds(args.Seconds))
+	reply.SimSeconds = s.sys.Eng.Now().Seconds()
+	return nil
+}
+
+// Serve accepts connections on l until the listener closes. It blocks.
+func Serve(sys *cbes.System, l net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(RPCName, NewServer(sys)); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Client is a typed CBES RPC client.
+type Client struct {
+	rc *rpc.Client
+}
+
+// Dial connects to a CBES server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
+	}
+	return &Client{rc: rpc.NewClient(conn)}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.rc.Close() }
+
+// Evaluate predicts one mapping's execution time.
+func (c *Client) Evaluate(app string, mapping []int) (*EvaluateReply, error) {
+	var reply EvaluateReply
+	err := c.rc.Call(RPCName+".Evaluate", &EvaluateArgs{App: app, Mapping: mapping}, &reply)
+	return &reply, err
+}
+
+// Explain fetches the per-process breakdown of one mapping's prediction.
+func (c *Client) Explain(app string, mapping []int) (*ExplainReply, error) {
+	var reply ExplainReply
+	err := c.rc.Call(RPCName+".Explain", &ExplainArgs{App: app, Mapping: mapping}, &reply)
+	return &reply, err
+}
+
+// Compare predicts several mappings.
+func (c *Client) Compare(app string, mappings [][]int) (*CompareReply, error) {
+	var reply CompareReply
+	err := c.rc.Call(RPCName+".Compare", &CompareArgs{App: app, Mappings: mappings}, &reply)
+	return &reply, err
+}
+
+// Schedule requests a mapping from the named algorithm.
+func (c *Client) Schedule(app, algorithm string, pool []int, seed int64) (*ScheduleReply, error) {
+	var reply ScheduleReply
+	err := c.rc.Call(RPCName+".Schedule", &ScheduleArgs{App: app, Algorithm: algorithm, Pool: pool, Seed: seed}, &reply)
+	return &reply, err
+}
+
+// Status fetches service status.
+func (c *Client) Status() (*StatusReply, error) {
+	var reply StatusReply
+	err := c.rc.Call(RPCName+".Status", &StatusArgs{}, &reply)
+	return &reply, err
+}
+
+// Advance moves simulated time forward on the server.
+func (c *Client) Advance(seconds float64) (*AdvanceReply, error) {
+	var reply AdvanceReply
+	err := c.rc.Call(RPCName+".Advance", &AdvanceArgs{Seconds: seconds}, &reply)
+	return &reply, err
+}

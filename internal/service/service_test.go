@@ -1,0 +1,165 @@
+package service
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+
+	"cbes"
+	"cbes/internal/bench"
+	"cbes/internal/cluster"
+	"cbes/internal/workloads"
+)
+
+// startServer brings up a calibrated system with one profiled app on a
+// loopback listener and returns a connected client.
+func startServer(t *testing.T) (*Client, workloads.Program, *cbes.System) {
+	t.Helper()
+	sys := cbes.NewSystem(cluster.NewTestTopology(), cbes.Config{})
+	sys.Calibrate(bench.Options{Reps: 3})
+	prog := workloads.Synthetic(workloads.SyntheticConfig{
+		Ranks: 4, Iterations: 8, ComputePerIter: 0.04, MsgSize: 8 << 10, MsgsPerIter: 1,
+	})
+	sys.MustProfile(prog, []int{0, 1, 2, 3})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(sys, l) //nolint:errcheck // returns when the listener closes
+	t.Cleanup(func() { l.Close(); sys.Close() })
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, prog, sys
+}
+
+func TestEvaluateOverRPC(t *testing.T) {
+	c, prog, _ := startServer(t)
+	good, err := c.Evaluate(prog.Name, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Seconds <= 0 {
+		t.Fatalf("prediction = %v", good.Seconds)
+	}
+	slow, err := c.Evaluate(prog.Name, []int{4, 5, 6, 7}) // Intel nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Seconds <= good.Seconds {
+		t.Fatalf("Intel mapping %v not predicted slower than Alpha %v", slow.Seconds, good.Seconds)
+	}
+	if _, err := c.Evaluate("ghost", []int{0, 1, 2, 3}); err == nil {
+		t.Fatal("unknown app should error over RPC")
+	}
+}
+
+func TestExplainOverRPC(t *testing.T) {
+	c, prog, _ := startServer(t)
+	r, err := c.Explain(prog.Name, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seconds <= 0 || !strings.Contains(r.Text, "predicted execution time") {
+		t.Fatalf("explain reply: %+v", r)
+	}
+	if !strings.Contains(r.Text, "rank") {
+		t.Fatalf("breakdown missing:\n%s", r.Text)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c1, prog, sys := startServer(t)
+	// Concurrent in-flight RPCs over one connection; net/rpc multiplexes
+	// them and the server's mutex serializes access to the engine.
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			if i%2 == 0 {
+				_, err := c1.Evaluate(prog.Name, []int{0, 1, 2, 3})
+				done <- err
+				return
+			}
+			_, err := c1.Schedule(prog.Name, "rs", sys.Pool(cluster.ArchAlpha, cluster.ArchIntel), int64(i))
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompareOverRPC(t *testing.T) {
+	c, prog, _ := startServer(t)
+	reply, err := c.Compare(prog.Name, [][]int{
+		{4, 5, 6, 7},
+		{0, 1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Best != 1 {
+		t.Fatalf("best = %d, want 1", reply.Best)
+	}
+	if len(reply.Seconds) != 2 || reply.Seconds[1] >= reply.Seconds[0] {
+		t.Fatalf("seconds = %v", reply.Seconds)
+	}
+	if _, err := c.Compare(prog.Name, nil); err == nil {
+		t.Fatal("empty compare should error")
+	}
+}
+
+func TestScheduleOverRPC(t *testing.T) {
+	c, prog, sys := startServer(t)
+	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel)
+	reply, err := c.Schedule(prog.Name, "cs", pool, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Mapping) != prog.Ranks || reply.Predicted <= 0 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	if reply.Evaluations == 0 {
+		t.Fatal("no evaluations reported")
+	}
+	if _, err := c.Schedule(prog.Name, "quantum", pool, 3); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestStatusAndAdvance(t *testing.T) {
+	c, prog, _ := startServer(t)
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster != "testnet" || st.Nodes != 8 {
+		t.Fatalf("status = %+v", st)
+	}
+	found := false
+	for _, a := range st.Apps {
+		if a == prog.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("app %q not in %v", prog.Name, st.Apps)
+	}
+	adv, err := c.Advance(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(adv.SimSeconds-st.SimSeconds-5) > 1e-9 {
+		t.Fatalf("advance: %v -> %v", st.SimSeconds, adv.SimSeconds)
+	}
+	if _, err := c.Advance(-1); err == nil {
+		t.Fatal("negative advance should error")
+	}
+}

@@ -1,0 +1,168 @@
+// Package simnet simulates message transport over a cluster.Topology:
+// store-and-forward traversal of each link on the route with FIFO
+// serialization per link direction.
+//
+// A message of s bytes crossing links l1..lk experiences, at each link, a
+// queueing wait (the link transmits one frame train at a time per
+// direction), a transmission time s/bandwidth, and the link's propagation/
+// forwarding latency. This reproduces the paper's observation that
+// internode latency varies with topology, message size, and load: shared
+// uplinks and the Orange Grove federation path congest under concurrent
+// traffic.
+//
+// CPU-side software overheads (the MPI library path) are NOT charged here;
+// internal/mpisim charges them to the sender's and receiver's CPUs, which
+// is how CPU load inflates end-to-end latency in this system, mirroring
+// the latency model of the paper's companion dissertation [12].
+package simnet
+
+import (
+	"cbes/internal/cluster"
+	"cbes/internal/des"
+)
+
+// direction disambiguates full-duplex link occupancy.
+type direction int
+
+const (
+	dirAtoB direction = iota
+	dirBtoA
+)
+
+// linkState tracks FIFO occupancy and utilization accounting for one link.
+type linkState struct {
+	spec cluster.Link
+	// freeAt[d] is when the link can begin transmitting the next message in
+	// direction d.
+	freeAt [2]des.Time
+	// busy[d] accumulates transmission time for utilization metrics.
+	busy [2]des.Time
+}
+
+// Network simulates the fabric of a topology on a DES engine.
+type Network struct {
+	eng   *des.Engine
+	topo  *cluster.Topology
+	links []linkState
+	// stats
+	messages uint64
+	bytes    uint64
+}
+
+// New creates a network simulator for topo.
+func New(eng *des.Engine, topo *cluster.Topology) *Network {
+	n := &Network{eng: eng, topo: topo}
+	n.links = make([]linkState, len(topo.Links))
+	for i, l := range topo.Links {
+		n.links[i].spec = l
+	}
+	return n
+}
+
+// Topology returns the static topology.
+func (n *Network) Topology() *cluster.Topology { return n.topo }
+
+// Messages reports the number of messages fully delivered so far.
+func (n *Network) Messages() uint64 { return n.messages }
+
+// Bytes reports the total payload bytes delivered so far.
+func (n *Network) Bytes() uint64 { return n.bytes }
+
+// txTime is the serialization delay of size bytes on a link.
+func txTime(size int64, bandwidth float64) des.Time {
+	if size <= 0 {
+		return 0
+	}
+	return des.FromSeconds(float64(size) / bandwidth)
+}
+
+// linkDirection determines the traversal direction given the device we
+// depart from.
+func (n *Network) linkDirection(l *linkState, from cluster.Device) (direction, cluster.Device) {
+	if l.spec.A == from {
+		return dirAtoB, l.spec.B
+	}
+	return dirBtoA, l.spec.A
+}
+
+// Deliver injects a message of size bytes from node src to node dst and
+// calls delivered when the last byte arrives at dst. Loopback (src == dst)
+// delivers after a fixed small memcpy-like delay. Must be called from
+// engine context.
+func (n *Network) Deliver(src, dst int, size int64, delivered func()) {
+	if src == dst {
+		n.eng.Schedule(loopbackLatency(size), func() {
+			n.messages++
+			n.bytes += uint64(size)
+			delivered()
+		})
+		return
+	}
+	path := n.topo.Path(src, dst)
+	n.hop(cluster.Device{Kind: cluster.DevNode, Index: src}, path, 0, size, func() {
+		n.messages++
+		n.bytes += uint64(size)
+		delivered()
+	})
+}
+
+// loopbackLatency models same-node (shared-memory) delivery.
+func loopbackLatency(size int64) des.Time {
+	// ~5 µs constant plus a 400 MB/s memcpy.
+	return 5*des.Microsecond + des.FromSeconds(float64(size)/400e6)
+}
+
+// hop advances the message across path[idx..].
+func (n *Network) hop(from cluster.Device, path []int, idx int, size int64, done func()) {
+	if idx >= len(path) {
+		done()
+		return
+	}
+	l := &n.links[path[idx]]
+	dir, next := n.linkDirection(l, from)
+	now := n.eng.Now()
+	start := now
+	if l.freeAt[dir] > start {
+		start = l.freeAt[dir]
+	}
+	tx := txTime(size, l.spec.Bandwidth)
+	l.freeAt[dir] = start + tx
+	l.busy[dir] += tx
+	arrive := start + tx + l.spec.Latency
+	n.eng.ScheduleAt(arrive, func() {
+		n.hop(next, path, idx+1, size, done)
+	})
+}
+
+// EstimateNoLoad computes, without simulating, the no-contention traversal
+// time of a message along the route — the "wire" component that the CBES
+// latency model fits during calibration.
+func (n *Network) EstimateNoLoad(src, dst int, size int64) des.Time {
+	if src == dst {
+		return loopbackLatency(size)
+	}
+	var t des.Time
+	for _, lid := range n.topo.Path(src, dst) {
+		l := n.topo.Links[lid]
+		t += txTime(size, l.Bandwidth) + l.Latency
+	}
+	return t
+}
+
+// LinkBusy reports the accumulated transmission time of link id in both
+// directions (used by NIC/bandwidth sensors).
+func (n *Network) LinkBusy(id int) des.Time {
+	return n.links[id].busy[dirAtoB] + n.links[id].busy[dirBtoA]
+}
+
+// EdgeLink returns the ID of the link that connects node id to its edge
+// switch (its NIC cable).
+func (n *Network) EdgeLink(node int) int {
+	dev := cluster.Device{Kind: cluster.DevNode, Index: node}
+	for _, l := range n.topo.Links {
+		if l.A == dev || l.B == dev {
+			return l.ID
+		}
+	}
+	return -1
+}

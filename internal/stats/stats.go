@@ -1,0 +1,208 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics, 95 % confidence intervals on means
+// (as the paper reports throughout §5–6), percentiles, and fixed-width
+// histograms (fig. 7).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element (+Inf for empty input).
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+// Max returns the largest element (-Inf for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+// tTable95 holds two-sided 95 % critical values of Student's t for small
+// degrees of freedom; beyond 30 we use the normal value 1.96.
+var tTable95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95 % Student-t critical value for the
+// given degrees of freedom.
+func TCritical95(df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(tTable95) {
+		return tTable95[df]
+	}
+	return 1.96
+}
+
+// CI95 returns the half-width of the 95 % confidence interval of the mean,
+// mean ± CI95. For fewer than two samples it returns 0.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return TCritical95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// MeanCI returns the mean and the 95 % CI half-width together.
+func MeanCI(xs []float64) (mean, ci float64) { return Mean(xs), CI95(xs) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It copies and sorts its input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// FractionBelow reports the fraction of samples <= threshold.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := 0
+	for _, x := range xs {
+		if x <= threshold {
+			c++
+		}
+	}
+	return float64(c) / float64(len(xs))
+}
+
+// Histogram is a fixed-width bucketing of samples.
+type Histogram struct {
+	Lo, Hi float64 // covered range
+	Counts []int   // one per bucket
+	Under  int     // samples below Lo
+	Over   int     // samples above Hi
+}
+
+// NewHistogram buckets xs into n equal-width buckets spanning [lo, hi].
+func NewHistogram(xs []float64, lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram spec [%v,%v)/%d", lo, hi, n))
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		switch {
+		case x < lo:
+			h.Under++
+		case x >= hi:
+			h.Over++
+		default:
+			b := int((x - lo) / w)
+			if b == n {
+				b = n - 1
+			}
+			h.Counts[b]++
+		}
+	}
+	return h
+}
+
+// BucketLo returns the lower edge of bucket i.
+func (h *Histogram) BucketLo(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w
+}
+
+// Total reports the number of in-range samples.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Render draws the histogram as rows of '#' bars, one row per bucket, for
+// terminal output (the fig. 7 reproduction).
+func (h *Histogram) Render(width int) string {
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	out := ""
+	for i, c := range h.Counts {
+		bar := int(math.Round(float64(c) / float64(max) * float64(width)))
+		out += fmt.Sprintf("%10.2f | %-*s %d\n", h.BucketLo(i), width, repeat('#', bar), c)
+	}
+	return out
+}
+
+func repeat(ch byte, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	if v := Variance(xs); !approx(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", v)
+	}
+	if s := StdDev(xs); !approx(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev = %v", s)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || CI95(nil) != 0 {
+		t.Fatal("empty input should give zeros")
+	}
+	if Variance([]float64{3}) != 0 || CI95([]float64{3}) != 0 {
+		t.Fatal("singleton variance/CI should be 0")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty Min/Max sentinel wrong")
+	}
+}
+
+func TestCI95KnownCase(t *testing.T) {
+	// n=5, sd=1: CI = t(4)*1/sqrt(5) = 2.776/2.2360.
+	xs := []float64{-1.264911064, -0.632455532, 0, 0.632455532, 1.264911064}
+	sd := StdDev(xs)
+	want := 2.776 * sd / math.Sqrt(5)
+	if ci := CI95(xs); !approx(ci, want, 1e-9) {
+		t.Fatalf("CI95 = %v, want %v", ci, want)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if !math.IsNaN(TCritical95(0)) {
+		t.Fatal("df=0 should be NaN")
+	}
+	if TCritical95(1) != 12.706 {
+		t.Fatal("df=1 wrong")
+	}
+	if TCritical95(1000) != 1.96 {
+		t.Fatal("large df should be 1.96")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 25: 2, 50: 3, 75: 4, 100: 5, 10: 1.4}
+	for p, want := range cases {
+		if got := Percentile(xs, p); !approx(got, want, 1e-12) {
+			t.Fatalf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if f := FractionBelow(xs, 2.5); !approx(f, 0.5, 1e-12) {
+		t.Fatalf("FractionBelow = %v", f)
+	}
+	if f := FractionBelow(xs, 4); !approx(f, 1, 1e-12) {
+		t.Fatalf("inclusive threshold: %v", f)
+	}
+	if FractionBelow(nil, 1) != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.5, 1.5, 1.7, 2.5, -1, 10}
+	h := NewHistogram(xs, 0, 3, 3)
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[2] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if !approx(h.BucketLo(1), 1, 1e-12) {
+		t.Fatalf("bucket lo = %v", h.BucketLo(1))
+	}
+	r := h.Render(20)
+	if !strings.Contains(r, "#") || len(strings.Split(strings.TrimSpace(r), "\n")) != 3 {
+		t.Fatalf("render:\n%s", r)
+	}
+}
+
+func TestHistogramPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(nil, 1, 1, 4)
+}
+
+// Property: mean lies within [min, max]; CI is nonnegative; percentile is
+// monotone in p.
+func TestQuickSummaryInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		m := Mean(xs)
+		if m < Min(xs)-1e-9 || m > Max(xs)+1e-9 {
+			return false
+		}
+		if CI95(xs) < 0 {
+			return false
+		}
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < last-1e-9 {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves sample count.
+func TestQuickHistogramConserves(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*20 - 5
+		}
+		h := NewHistogram(xs, 0, 10, 7)
+		return h.Total()+h.Under+h.Over == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

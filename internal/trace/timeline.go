@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"cbes/internal/des"
+)
+
+// Interval is one contiguous span a process spent in a single state —
+// the raw material of an XMPI-style timeline view.
+type Interval struct {
+	State State    `json:"state"`
+	From  des.Time `json:"from"`
+	To    des.Time `json:"to"`
+}
+
+// Duration is the interval's length.
+func (iv Interval) Duration() des.Time { return iv.To - iv.From }
+
+// EnableIntervals switches the recorder to also retain the full per-rank
+// interval sequence (off by default: aggregates suffice for profiles, and
+// long runs generate many intervals).
+func (r *Recorder) EnableIntervals() {
+	if r.intervals == nil {
+		r.intervals = make([][]Interval, len(r.mapping))
+	}
+}
+
+// appendInterval retains a flushed interval when interval recording is on.
+func (r *Recorder) appendInterval(rank int, s State, from, to des.Time) {
+	if r.intervals == nil || to <= from {
+		return
+	}
+	ivs := r.intervals[rank]
+	// Merge with the previous interval when the state continues.
+	if n := len(ivs); n > 0 && ivs[n-1].State == s && ivs[n-1].To == from {
+		r.intervals[rank][n-1].To = to
+		return
+	}
+	r.intervals[rank] = append(r.intervals[rank], Interval{State: s, From: from, To: to})
+}
+
+// stateGlyphs maps states to timeline characters: computation dense,
+// overhead medium, blocked light.
+var stateGlyphs = map[State]byte{
+	StateRun:      '#',
+	StateOverhead: 'o',
+	StateBlocked:  '.',
+}
+
+// RenderTimeline draws the trace's per-rank state timelines as ASCII rows
+// of width columns ('#' running, 'o' library overhead, '.' blocked),
+// choosing each cell's glyph by the state that dominates its time slice —
+// the spirit of the XMPI execution view the paper's profiling subsystem
+// builds on. Returns an empty string when the trace carries no intervals.
+func (t *Trace) RenderTimeline(width int) string {
+	if len(t.Intervals) == 0 || width <= 0 {
+		return ""
+	}
+	span := t.End - t.Start
+	if span <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %s on %s, %s  (#=run o=overhead .=blocked)\n",
+		t.App, t.Cluster, span)
+	cell := float64(span) / float64(width)
+	for rank, ivs := range t.Intervals {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		// Accumulate time per state per cell.
+		acc := make([][3]float64, width)
+		for _, iv := range ivs {
+			from := float64(iv.From - t.Start)
+			to := float64(iv.To - t.Start)
+			c0 := int(from / cell)
+			c1 := int(to / cell)
+			if c1 >= width {
+				c1 = width - 1
+			}
+			for c := c0; c <= c1; c++ {
+				lo := float64(c) * cell
+				hi := lo + cell
+				ov := minF(hi, to) - maxF(lo, from)
+				if ov > 0 {
+					acc[c][iv.State] += ov
+				}
+			}
+		}
+		for c := range acc {
+			best, bestV := -1, 0.0
+			for s := 0; s < 3; s++ {
+				if acc[c][s] > bestV {
+					best, bestV = s, acc[c][s]
+				}
+			}
+			if best >= 0 {
+				row[c] = stateGlyphs[State(best)]
+			}
+		}
+		fmt.Fprintf(&sb, "r%02d |%s|\n", rank, string(row))
+	}
+	return sb.String()
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Summary returns a compact per-rank accounting table for the whole trace.
+func (t *Trace) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s on %s: %d ranks, %d segment(s), %s\n",
+		t.App, t.Cluster, t.Ranks, len(t.Segments), t.Duration())
+	sb.WriteString("rank  node       X          O          B      msgs-out\n")
+	for rank := 0; rank < t.Ranks; rank++ {
+		var x, o, b des.Time
+		msgs := 0
+		node := -1
+		for _, seg := range t.Segments {
+			p := seg.Procs[rank]
+			x += p.Run
+			o += p.Overhead
+			b += p.Blocked
+			node = p.Node
+			for _, g := range p.Sends {
+				msgs += g.Count
+			}
+		}
+		fmt.Fprintf(&sb, "%4d  %4d %10s %10s %10s %9d\n", rank, node, x, o, b, msgs)
+	}
+	return sb.String()
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cbes/internal/des"
+)
+
+func recorderWithIntervals() (*Recorder, *des.Time) {
+	var now des.Time
+	r := NewRecorder("app", "c", []int{0, 1}, func() des.Time { return now })
+	r.EnableIntervals()
+	return r, &now
+}
+
+func TestIntervalsRecorded(t *testing.T) {
+	r, now := recorderWithIntervals()
+	*now = 0
+	r.SetState(0, StateRun)
+	*now = des.Second
+	r.SetState(0, StateBlocked)
+	*now = 3 * des.Second
+	r.SetState(0, StateRun)
+	*now = 4 * des.Second
+	tr := r.Finish()
+
+	ivs := tr.Intervals[0]
+	if len(ivs) != 3 {
+		t.Fatalf("intervals = %v", ivs)
+	}
+	want := []Interval{
+		{StateRun, 0, des.Second},
+		{StateBlocked, des.Second, 3 * des.Second},
+		{StateRun, 3 * des.Second, 4 * des.Second},
+	}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Fatalf("interval %d = %+v, want %+v", i, ivs[i], want[i])
+		}
+	}
+	if ivs[1].Duration() != 2*des.Second {
+		t.Fatalf("duration = %v", ivs[1].Duration())
+	}
+}
+
+func TestIntervalsMergeContiguousSameState(t *testing.T) {
+	r, now := recorderWithIntervals()
+	r.SetState(0, StateRun)
+	*now = des.Second
+	r.SetState(0, StateRun) // same state: should merge, not split
+	*now = 2 * des.Second
+	tr := r.Finish()
+	if n := len(tr.Intervals[0]); n != 1 {
+		t.Fatalf("contiguous same-state intervals not merged: %v", tr.Intervals[0])
+	}
+	if tr.Intervals[0][0].To != 2*des.Second {
+		t.Fatalf("merged interval = %+v", tr.Intervals[0][0])
+	}
+}
+
+func TestIntervalsDisabledByDefault(t *testing.T) {
+	var now des.Time
+	r := NewRecorder("app", "c", []int{0}, func() des.Time { return now })
+	r.SetState(0, StateRun)
+	now = des.Second
+	tr := r.Finish()
+	if tr.Intervals != nil {
+		t.Fatal("intervals retained without EnableIntervals")
+	}
+	if tr.RenderTimeline(40) != "" {
+		t.Fatal("timeline should be empty without intervals")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	r, now := recorderWithIntervals()
+	// rank 0: first half run, second half blocked; rank 1 all run.
+	r.SetState(0, StateRun)
+	r.SetState(1, StateRun)
+	*now = des.Second
+	r.SetState(0, StateBlocked)
+	*now = 2 * des.Second
+	tr := r.Finish()
+
+	out := tr.RenderTimeline(20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 ranks
+		t.Fatalf("timeline:\n%s", out)
+	}
+	row0 := lines[1]
+	if !strings.Contains(row0, "#") || !strings.Contains(row0, ".") {
+		t.Fatalf("rank 0 row should mix run and blocked: %q", row0)
+	}
+	// Roughly half the cells blocked.
+	dots := strings.Count(row0, ".")
+	if dots < 6 || dots > 14 {
+		t.Fatalf("rank 0 blocked cells = %d of 20", dots)
+	}
+	if strings.Contains(lines[2], ".") {
+		t.Fatalf("rank 1 should be all-run: %q", lines[2])
+	}
+}
+
+func TestSummaryOutput(t *testing.T) {
+	r, now := recorderWithIntervals()
+	r.SetState(0, StateRun)
+	r.RecordSend(0, 1, 2048)
+	r.RecordSend(0, 1, 2048)
+	*now = des.Second
+	tr := r.Finish()
+	s := tr.Summary()
+	if !strings.Contains(s, "app on c") || !strings.Contains(s, "rank") {
+		t.Fatalf("summary:\n%s", s)
+	}
+	// rank 0 sent 2 messages.
+	if !strings.Contains(s, "2\n") {
+		t.Fatalf("summary should show 2 outgoing messages:\n%s", s)
+	}
+}
+
+func TestIntervalsSurviveEncode(t *testing.T) {
+	r, now := recorderWithIntervals()
+	r.SetState(0, StateRun)
+	*now = des.Second
+	tr := r.Finish()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Intervals) != 2 || len(got.Intervals[0]) != 1 {
+		t.Fatalf("intervals lost: %+v", got.Intervals)
+	}
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"cbes/internal/des"
+)
+
+func TestRecorderStateAccounting(t *testing.T) {
+	var now des.Time
+	clock := func() des.Time { return now }
+	r := NewRecorder("app", "testnet", []int{10, 11}, clock)
+
+	// rank 0: 2s run, 1s overhead, 3s blocked.
+	now = 0
+	r.SetState(0, StateRun)
+	now = 2 * des.Second
+	r.SetState(0, StateOverhead)
+	now = 3 * des.Second
+	r.SetState(0, StateBlocked)
+	now = 6 * des.Second
+	r.SetState(0, StateRun)
+	tr := r.Finish()
+
+	p := tr.Segments[0].Procs[0]
+	if p.Run != 2*des.Second || p.Overhead != des.Second || p.Blocked != 3*des.Second {
+		t.Fatalf("accounting = run %v, ovh %v, blk %v", p.Run, p.Overhead, p.Blocked)
+	}
+	if p.Node != 10 {
+		t.Fatalf("node = %d, want 10", p.Node)
+	}
+	if tr.Duration() != 6*des.Second {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+}
+
+func TestMessageGrouping(t *testing.T) {
+	var now des.Time
+	r := NewRecorder("app", "testnet", []int{0, 1, 2}, func() des.Time { return now })
+	for i := 0; i < 5; i++ {
+		r.RecordSend(0, 1, 1024)
+	}
+	r.RecordSend(0, 1, 2048)
+	r.RecordSend(0, 2, 1024)
+	r.RecordRecv(1, 0, 1024)
+	tr := r.Finish()
+
+	sends := tr.Segments[0].Procs[0].Sends
+	if len(sends) != 3 {
+		t.Fatalf("send groups = %v, want 3 groups", sends)
+	}
+	// Sorted by (peer, size): (1,1024,5), (1,2048,1), (2,1024,1).
+	if sends[0] != (MsgGroup{Peer: 1, Size: 1024, Count: 5}) {
+		t.Fatalf("group[0] = %+v", sends[0])
+	}
+	if sends[1] != (MsgGroup{Peer: 1, Size: 2048, Count: 1}) {
+		t.Fatalf("group[1] = %+v", sends[1])
+	}
+	if sends[2] != (MsgGroup{Peer: 2, Size: 1024, Count: 1}) {
+		t.Fatalf("group[2] = %+v", sends[2])
+	}
+	recvs := tr.Segments[0].Procs[1].Recvs
+	if len(recvs) != 1 || recvs[0].Count != 1 {
+		t.Fatalf("recvs = %v", recvs)
+	}
+}
+
+func TestSegments(t *testing.T) {
+	var now des.Time
+	r := NewRecorder("app", "testnet", []int{0}, func() des.Time { return now })
+	r.SetState(0, StateRun)
+	now = des.Second
+	r.BeginSegment("solve")
+	r.RecordSend(0, 0, 64)
+	now = 3 * des.Second
+	tr := r.Finish()
+
+	if len(tr.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(tr.Segments))
+	}
+	if tr.Segments[0].Name != "main" || tr.Segments[1].Name != "solve" {
+		t.Fatalf("segment names = %q, %q", tr.Segments[0].Name, tr.Segments[1].Name)
+	}
+	if tr.Segments[0].Duration() != des.Second || tr.Segments[1].Duration() != 2*des.Second {
+		t.Fatalf("durations = %v, %v", tr.Segments[0].Duration(), tr.Segments[1].Duration())
+	}
+	// The run state carries across the segment boundary: 1s in seg0, 2s in seg1.
+	if tr.Segments[0].Procs[0].Run != des.Second {
+		t.Fatalf("seg0 run = %v", tr.Segments[0].Procs[0].Run)
+	}
+	if tr.Segments[1].Procs[0].Run != 2*des.Second {
+		t.Fatalf("seg1 run = %v", tr.Segments[1].Procs[0].Run)
+	}
+	// Message recorded in segment 1 only.
+	if len(tr.Segments[0].Procs[0].Sends) != 0 || len(tr.Segments[1].Procs[0].Sends) != 1 {
+		t.Fatal("message attributed to wrong segment")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var now des.Time
+	r := NewRecorder("lu.A.8", "orange-grove", []int{3, 1, 4, 1}, func() des.Time { return now })
+	r.SetState(0, StateRun)
+	now = 5 * des.Second
+	r.RecordSend(0, 1, 40960)
+	r.RecordRecv(1, 0, 40960)
+	tr := r.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != tr.App || got.Ranks != tr.Ranks || got.Duration() != tr.Duration() {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Segments[0].Procs[0].Sends[0] != tr.Segments[0].Procs[0].Sends[0] {
+		t.Fatal("message groups lost in round trip")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+// Property: for any sequence of state transitions, total accounted time per
+// rank equals the trace duration.
+func TestQuickAccountingConserved(t *testing.T) {
+	prop := func(steps []uint8) bool {
+		var now des.Time
+		r := NewRecorder("app", "c", []int{0}, func() des.Time { return now })
+		for _, s := range steps {
+			now += des.Time(s%100) * des.Millisecond
+			r.SetState(0, State(int(s)%3))
+		}
+		now += des.Second
+		tr := r.Finish()
+		p := tr.Segments[0].Procs[0]
+		return p.Busy() == tr.Duration()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{StateRun: "run", StateOverhead: "overhead", StateBlocked: "blocked", State(9): "state(9)"} {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

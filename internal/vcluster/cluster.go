@@ -1,0 +1,75 @@
+package vcluster
+
+import (
+	"math/rand"
+
+	"cbes/internal/cluster"
+	"cbes/internal/des"
+)
+
+// Cluster is a topology animated with per-node CPUs. Network transport is
+// provided separately by internal/simnet; higher layers (internal/mpisim)
+// combine the two.
+type Cluster struct {
+	Eng  *des.Engine
+	Topo *cluster.Topology
+	cpus []*CPU
+}
+
+// New animates topo on the given engine with all nodes idle.
+func New(eng *des.Engine, topo *cluster.Topology) *Cluster {
+	c := &Cluster{Eng: eng, Topo: topo}
+	c.cpus = make([]*CPU, topo.NumNodes())
+	for i := range c.cpus {
+		c.cpus[i] = NewCPU(eng, topo.Node(i))
+	}
+	return c
+}
+
+// CPU returns the CPU of node id.
+func (c *Cluster) CPU(id int) *CPU { return c.cpus[id] }
+
+// Availability reports node id's background availability (ground truth).
+func (c *Cluster) Availability(id int) float64 { return c.cpus[id].Availability() }
+
+// SetAvailability sets node id's background availability. Must be called
+// from engine context.
+func (c *Cluster) SetAvailability(id int, a float64) { c.cpus[id].SetAvailability(a) }
+
+// LoadStep is one step of a piecewise-constant background-load script.
+type LoadStep struct {
+	At    des.Time // absolute simulated time
+	Avail float64  // availability from At onwards
+}
+
+// ApplyLoadScript schedules the given availability steps for node id.
+func (c *Cluster) ApplyLoadScript(id int, steps []LoadStep) {
+	for _, s := range steps {
+		s := s
+		c.Eng.ScheduleAt(s.At, func() { c.cpus[id].SetAvailability(s.Avail) })
+	}
+}
+
+// RandomWalkLoad drives node id's availability with a mean-reverting random
+// walk sampled every interval: avail' = avail + pull·(mean−avail) + noise.
+// It models the "routine operating-system processes" background of §5 when
+// volatility is small, or a shared multi-user node when large. The walk is
+// seeded, hence reproducible. It runs until the engine stops; call
+// eng.Shutdown to reap the daemon.
+func (c *Cluster) RandomWalkLoad(id int, mean, volatility float64, interval des.Time, seed int64) *des.Proc {
+	rng := rand.New(rand.NewSource(seed))
+	return c.Eng.Spawn("loadwalk", func(p *des.Proc) {
+		avail := mean
+		for {
+			p.Sleep(interval)
+			avail += 0.3*(mean-avail) + volatility*rng.NormFloat64()
+			if avail > 1 {
+				avail = 1
+			}
+			if avail < minAvailability {
+				avail = minAvailability
+			}
+			c.cpus[id].SetAvailability(avail)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+// Package vcluster animates a static cluster.Topology into a virtual
+// cluster: per-node processor-sharing CPUs with background load, the
+// substrate on which MPI-like applications execute and against which the
+// CBES monitoring infrastructure takes measurements.
+//
+// This package (together with internal/simnet) is the substitution for the
+// paper's physical Centurion and Orange Grove machines: it is deliberately
+// richer than the CBES analytic model (timesharing, multi-core sharing,
+// time-varying background load), so that CBES predictions carry genuine
+// error, as they do against real hardware.
+package vcluster
+
+import (
+	"fmt"
+	"math"
+
+	"cbes/internal/cluster"
+	"cbes/internal/des"
+)
+
+// minAvailability is the floor on CPU availability: even a thrashing node
+// makes some progress, and the CBES formula divides by ACPU.
+const minAvailability = 0.02
+
+// workEpsilon is the residual work below which a task counts as finished
+// (guards against floating-point dust when several tasks end together).
+const workEpsilon = 1e-9
+
+// cpuTask is one process burst executing on a CPU.
+type cpuTask struct {
+	remaining float64 // reference-seconds of work left
+	rate      float64 // reference-seconds executed per dedicated-core second
+	proc      *des.Proc
+	seq       uint64 // admission order; deterministic tie-break
+}
+
+// CPU models one node's processors as an egalitarian processor-sharing
+// queue: n concurrent tasks on c cores each progress at
+// rate · availability · min(1, c/n).
+//
+// Background (non-application) load is expressed as reduced availability:
+// availability a means every core has only fraction a left for application
+// tasks, exactly the quantity the paper's ACPU monitoring reports.
+type CPU struct {
+	eng        *des.Engine
+	node       *cluster.Node
+	avail      float64
+	tasks      map[*cpuTask]struct{}
+	taskSeq    uint64
+	completion *des.Event
+	lastTouch  des.Time
+	// busyRefSeconds accumulates executed work for utilization metrics.
+	busyRefSeconds float64
+}
+
+// NewCPU creates an idle CPU for the given node at full availability.
+func NewCPU(eng *des.Engine, node *cluster.Node) *CPU {
+	return &CPU{eng: eng, node: node, avail: 1.0, tasks: map[*cpuTask]struct{}{}, lastTouch: eng.Now()}
+}
+
+// Node returns the static description of the node this CPU belongs to.
+func (c *CPU) Node() *cluster.Node { return c.node }
+
+// Availability reports the fraction of each core not consumed by background
+// load (the ground truth the monitoring sensors sample).
+func (c *CPU) Availability() float64 { return c.avail }
+
+// AvailableToNewTask reports the CPU share a newly arriving task would
+// receive, accounting for both background load and tasks already running —
+// the quantity an NWS-style CPU sensor measures and the ACPU_j term of
+// eq. 5.
+func (c *CPU) AvailableToNewTask() float64 {
+	n := len(c.tasks) + 1
+	return c.avail * math.Min(1, float64(c.node.CPUs)/float64(n))
+}
+
+// Running reports the number of tasks currently executing.
+func (c *CPU) Running() int { return len(c.tasks) }
+
+// BusyRefSeconds reports the cumulative reference-seconds of application
+// work this CPU has executed.
+func (c *CPU) BusyRefSeconds() float64 {
+	c.advance()
+	return c.busyRefSeconds
+}
+
+// SetAvailability changes the background-load level. It must be called from
+// engine context (an event callback or a simulated process).
+func (c *CPU) SetAvailability(a float64) {
+	if a < minAvailability {
+		a = minAvailability
+	}
+	if a > 1 {
+		a = 1
+	}
+	c.advance()
+	c.avail = a
+	c.reschedule()
+}
+
+// share is the per-task fraction of a dedicated core.
+func (c *CPU) share() float64 {
+	n := len(c.tasks)
+	if n == 0 {
+		return 0
+	}
+	return c.avail * math.Min(1, float64(c.node.CPUs)/float64(n))
+}
+
+// advance applies progress accrued since the last state change.
+func (c *CPU) advance() {
+	now := c.eng.Now()
+	dt := (now - c.lastTouch).Seconds()
+	c.lastTouch = now
+	if dt <= 0 || len(c.tasks) == 0 {
+		return
+	}
+	sh := c.share()
+	for t := range c.tasks {
+		done := t.rate * sh * dt
+		if done > t.remaining {
+			done = t.remaining
+		}
+		t.remaining -= done
+		c.busyRefSeconds += done
+	}
+}
+
+// reschedule recomputes the earliest task completion and (re)schedules the
+// completion event.
+func (c *CPU) reschedule() {
+	if c.completion != nil {
+		c.eng.Cancel(c.completion)
+		c.completion = nil
+	}
+	if len(c.tasks) == 0 {
+		return
+	}
+	sh := c.share()
+	var next *cpuTask
+	eta := math.Inf(1)
+	for t := range c.tasks {
+		e := t.remaining / (t.rate * sh)
+		if e < eta || (e == eta && (next == nil || t.seq < next.seq)) {
+			eta = e
+			next = t
+		}
+	}
+	// Round the wake-up up by one tick: FromSeconds truncates, and an event
+	// that fires a hair early would make no progress and reschedule itself
+	// forever. advance() clamps the 1 ns overshoot to the remaining work.
+	c.completion = c.eng.Schedule(des.FromSeconds(eta)+1, func() { c.complete(next) })
+}
+
+func (c *CPU) complete(t *cpuTask) {
+	c.completion = nil
+	c.advance()
+	if t.remaining > workEpsilon {
+		// Rounding left a sliver (or state changed at the same instant);
+		// keep executing.
+		c.reschedule()
+		return
+	}
+	delete(c.tasks, t)
+	c.reschedule()
+	t.proc.Unpark()
+}
+
+// Compute blocks the calling process while it executes `work`
+// reference-seconds at the given rate (reference-seconds of work retired
+// per second of dedicated core). The elapsed simulated time depends on
+// sharing and availability; the caller measures it with proc timestamps.
+func (c *CPU) Compute(p *des.Proc, work, rate float64) {
+	if work <= 0 {
+		return
+	}
+	if rate <= 0 {
+		panic(fmt.Sprintf("vcluster: Compute with rate %v on %s", rate, c.node.Name))
+	}
+	c.advance()
+	c.taskSeq++
+	t := &cpuTask{remaining: work, rate: rate, proc: p, seq: c.taskSeq}
+	c.tasks[t] = struct{}{}
+	c.reschedule()
+	p.Park()
+}
+
+// ComputeDuration estimates, without simulating, how long `work`
+// reference-seconds at `rate` would take on an otherwise-idle node at the
+// current availability — used by calibration utilities and tests.
+func (c *CPU) ComputeDuration(work, rate float64) des.Time {
+	return des.FromSeconds(work / (rate * c.avail))
+}

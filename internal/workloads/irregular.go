@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cbes/internal/cluster"
+	"cbes/internal/mpisim"
+)
+
+// Irregular models the "applications with irregular computation and/or
+// communication patterns" the paper names as future evaluation targets
+// (§8): a seeded random sparse communication graph with per-rank
+// imbalanced computation and mixed message sizes. The structure is fixed
+// by the seed, so the program is deterministic and profileable, but it has
+// none of the regular-grid symmetry the other models share.
+func Irregular(ranks int, seed int64) Program {
+	rng := rand.New(rand.NewSource(seed))
+
+	// A connected random sparse graph: a ring backbone plus extra chords.
+	type edge struct{ a, b int }
+	edgeSet := map[edge]bool{}
+	for i := 0; i < ranks; i++ {
+		j := (i + 1) % ranks
+		a, b := i, j
+		if a > b {
+			a, b = b, a
+		}
+		if a != b {
+			edgeSet[edge{a, b}] = true
+		}
+	}
+	extra := ranks / 2
+	for k := 0; k < extra; k++ {
+		a, b := rng.Intn(ranks), rng.Intn(ranks)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		edgeSet[edge{a, b}] = true
+	}
+	edges := make([]edge, 0, len(edgeSet))
+	for e := range edgeSet {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	// Per-edge message sizes and per-rank compute imbalance.
+	sizes := make([]int64, len(edges))
+	for i := range sizes {
+		sizes[i] = int64(2<<10 + rng.Intn(60<<10))
+	}
+	imbalance := make([]float64, ranks)
+	for i := range imbalance {
+		imbalance[i] = 0.6 + rng.Float64()
+	}
+
+	// Per-rank adjacency for the body.
+	adj := make([][]int, ranks) // edge indices, sorted
+	for ei, e := range edges {
+		adj[e.a] = append(adj[e.a], ei)
+		adj[e.b] = append(adj[e.b], ei)
+	}
+
+	const iters = 30
+	return Program{
+		Name:  fmt.Sprintf("irregular.%d.%d", seed, ranks),
+		Ranks: ranks,
+		ArchEff: map[cluster.Arch]float64{
+			cluster.ArchAlpha: 1.0, cluster.ArchIntel: 0.97, cluster.ArchSPARC: 0.93,
+		},
+		Body: func(r *mpisim.Rank) {
+			me := r.ID()
+			for it := 0; it < iters; it++ {
+				r.Compute(0.04 * imbalance[me] * 8.0 / float64(ranks))
+				// Exchange over every incident edge, in global edge order so
+				// the pairwise blocking operations cannot deadlock.
+				for _, ei := range adj[me] {
+					e := edges[ei]
+					peer := e.a
+					if peer == me {
+						peer = e.b
+					}
+					r.SendRecv(peer, sizes[ei], sizes[ei])
+				}
+				if it%10 == 9 {
+					r.Allreduce(64, 0)
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,72 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cbes/internal/cluster"
+)
+
+func TestIrregularCompletesManySeeds(t *testing.T) {
+	// The global-edge-order exchange discipline must be deadlock-free for
+	// arbitrary random graphs.
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+	for seed := int64(0); seed < 8; seed++ {
+		p := Irregular(8, seed)
+		res := run(t, topo, p, alphas)
+		if res.Elapsed <= 0 {
+			t.Fatalf("seed %d: no progress", seed)
+		}
+	}
+}
+
+func TestIrregularDeterministicPerSeed(t *testing.T) {
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+	a := run(t, topo, Irregular(8, 3), alphas).Elapsed
+	b := run(t, topo, Irregular(8, 3), alphas).Elapsed
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	c := run(t, topo, Irregular(8, 4), alphas).Elapsed
+	if a == c {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+}
+
+func TestIrregularImbalanced(t *testing.T) {
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+	res := run(t, topo, Irregular(8, 1), alphas)
+	// Some rank must have clearly more Run time than another (imbalance).
+	minRun, maxRun := res.Trace.Segments[0].Procs[0].Run, res.Trace.Segments[0].Procs[0].Run
+	for _, p := range res.Trace.Segments[0].Procs {
+		if p.Run < minRun {
+			minRun = p.Run
+		}
+		if p.Run > maxRun {
+			maxRun = p.Run
+		}
+	}
+	if float64(maxRun) < 1.2*float64(minRun) {
+		t.Fatalf("no compute imbalance: min %v max %v", minRun, maxRun)
+	}
+}
+
+// Property: irregular programs complete for random rank counts and seeds
+// (sizes capped to keep the property test fast).
+func TestQuickIrregularAlwaysCompletes(t *testing.T) {
+	topo := cluster.NewOrangeGrove()
+	low := append(append([]int{}, topo.NodesByArch(cluster.ArchAlpha)...),
+		topo.NodesByArch(cluster.ArchIntel)...)
+	prop := func(n8 uint8, seed int64) bool {
+		n := 2 + int(n8)%6
+		p := Irregular(n, seed)
+		res := run(&testing.T{}, topo, p, low[:n])
+		return res.Elapsed > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lookup resolves a program by its canonical name, e.g. "lu.B.8",
+// "hpl.10000.16", "smg2000.50.8", "sweep3d.8", "aztec.8",
+// "irregular.8.42". The last dotted field is always the rank count; NPB
+// kernels take a class letter, HPL a problem size, smg2000 a cube edge,
+// and irregular a seed before the rank count.
+func Lookup(name string) (Program, error) {
+	parts := strings.Split(name, ".")
+	if len(parts) < 2 {
+		return Program{}, fmt.Errorf("workloads: malformed name %q", name)
+	}
+	ranks, err := strconv.Atoi(parts[len(parts)-1])
+	if err != nil || ranks < 1 {
+		return Program{}, fmt.Errorf("workloads: bad rank count in %q", name)
+	}
+	kind := parts[0]
+	arg := ""
+	if len(parts) == 3 {
+		arg = parts[1]
+	}
+	if len(parts) > 3 {
+		return Program{}, fmt.Errorf("workloads: malformed name %q", name)
+	}
+
+	class := func() (Class, error) {
+		switch arg {
+		case "S", "A", "B":
+			return Class(arg), nil
+		}
+		return "", fmt.Errorf("workloads: %q needs a class S/A/B, got %q", kind, arg)
+	}
+	num := func() (int, error) {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("workloads: %q needs a numeric parameter, got %q", kind, arg)
+		}
+		return v, nil
+	}
+
+	switch kind {
+	case "is", "ep", "cg", "mg", "sp", "bt", "lu", "ft":
+		c, err := class()
+		if err != nil {
+			return Program{}, err
+		}
+		switch kind {
+		case "is":
+			return IS(c, ranks), nil
+		case "ep":
+			return EP(c, ranks), nil
+		case "cg":
+			return CG(c, ranks), nil
+		case "mg":
+			return MG(c, ranks), nil
+		case "sp":
+			return SP(c, ranks), nil
+		case "bt":
+			return BT(c, ranks), nil
+		case "ft":
+			return FT(c, ranks), nil
+		default:
+			return LU(c, ranks), nil
+		}
+	case "hpl":
+		n, err := num()
+		if err != nil {
+			return Program{}, err
+		}
+		return HPL(n, ranks), nil
+	case "smg2000":
+		n, err := num()
+		if err != nil {
+			return Program{}, err
+		}
+		return SMG2000(n, ranks), nil
+	case "irregular":
+		n, err := num()
+		if err != nil {
+			return Program{}, err
+		}
+		return Irregular(ranks, int64(n)), nil
+	case "sweep3d":
+		if arg != "" {
+			return Program{}, fmt.Errorf("workloads: sweep3d takes no parameter")
+		}
+		return Sweep3D(ranks), nil
+	case "samrai":
+		if arg != "" {
+			return Program{}, fmt.Errorf("workloads: samrai takes no parameter")
+		}
+		return SAMRAI(ranks), nil
+	case "towhee":
+		if arg != "" {
+			return Program{}, fmt.Errorf("workloads: towhee takes no parameter")
+		}
+		return Towhee(ranks), nil
+	case "aztec":
+		if arg != "" {
+			return Program{}, fmt.Errorf("workloads: aztec takes no parameter")
+		}
+		return Aztec(ranks), nil
+	}
+	return Program{}, fmt.Errorf("workloads: unknown program kind %q (known: %s)",
+		kind, strings.Join(Kinds(), ", "))
+}
+
+// Kinds lists the program families Lookup understands.
+func Kinds() []string {
+	kinds := []string{"is", "ep", "cg", "mg", "sp", "bt", "lu", "ft", "hpl",
+		"smg2000", "sweep3d", "samrai", "towhee", "aztec", "irregular"}
+	sort.Strings(kinds)
+	return kinds
+}

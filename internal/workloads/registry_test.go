@@ -1,0 +1,54 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupRoundTripsNames(t *testing.T) {
+	// Every canonical program name must resolve back to a program with the
+	// same name and rank count.
+	progs := []Program{
+		IS(ClassA, 16), EP(ClassB, 8), CG(ClassS, 4), MG(ClassA, 8),
+		SP(ClassB, 16), BT(ClassA, 9), LU(ClassB, 8), FT(ClassA, 16),
+		HPL(10000, 8), SMG2000(50, 8), Sweep3D(8), SAMRAI(8),
+		Towhee(8), Aztec(12), Irregular(8, 42),
+	}
+	for _, p := range progs {
+		got, err := Lookup(p.Name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", p.Name, err)
+		}
+		if got.Name != p.Name {
+			t.Fatalf("Lookup(%q).Name = %q", p.Name, got.Name)
+		}
+		if got.Ranks != p.Ranks {
+			t.Fatalf("Lookup(%q).Ranks = %d, want %d", p.Name, got.Ranks, p.Ranks)
+		}
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "lu", "lu.B", "lu.X.8", "lu.B.0", "lu.B.x",
+		"hpl.abc.8", "smg2000..8", "sweep3d.9.8", "towhee.1.8",
+		"unknown.8", "lu.B.8.9",
+	} {
+		if _, err := Lookup(bad); err == nil {
+			t.Fatalf("Lookup(%q) should fail", bad)
+		}
+	}
+}
+
+func TestKindsListed(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) < 10 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	joined := strings.Join(kinds, ",")
+	for _, want := range []string{"lu", "hpl", "aztec", "irregular"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("kind %q missing from %v", want, kinds)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package workloads
+
+import (
+	"testing"
+
+	"cbes/internal/cluster"
+	"cbes/internal/des"
+	"cbes/internal/mpisim"
+	"cbes/internal/simnet"
+	"cbes/internal/trace"
+	"cbes/internal/vcluster"
+)
+
+// run executes a program on the given topology/mapping and returns the
+// result.
+func run(t *testing.T, topo *cluster.Topology, prog Program, mapping []int) *mpisim.Result {
+	t.Helper()
+	if len(mapping) != prog.Ranks {
+		t.Fatalf("%s: mapping size %d != ranks %d", prog.Name, len(mapping), prog.Ranks)
+	}
+	eng := des.NewEngine()
+	vc := vcluster.New(eng, topo)
+	net := simnet.New(eng, topo)
+	return mpisim.Run(vc, net, mapping, prog.Body, prog.Options())
+}
+
+// commFraction computes B/(X+O+B) for the busiest rank.
+func commFraction(tr *trace.Trace) float64 {
+	var bestBusy, bestB des.Time
+	for _, seg := range tr.Segments {
+		for _, p := range seg.Procs {
+			if p.Busy() > bestBusy {
+				bestBusy = p.Busy()
+				bestB = p.Blocked
+			}
+		}
+	}
+	if bestBusy == 0 {
+		return 0
+	}
+	return float64(bestB) / float64(bestBusy)
+}
+
+// groveAlphas returns the 8 Alpha nodes of Orange Grove.
+func groveAlphas(topo *cluster.Topology) []int {
+	return topo.NodesByArch(cluster.ArchAlpha)
+}
+
+func TestAllProgramsCompleteOnGrove(t *testing.T) {
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+	progs := []Program{
+		Synthetic(SyntheticConfig{Ranks: 8, Iterations: 5, ComputePerIter: 0.05, MsgSize: 8 << 10, MsgsPerIter: 2, Overlap: 0.5}),
+		IS(ClassS, 8), EP(ClassS, 8), CG(ClassS, 8), MG(ClassS, 8),
+		SP(ClassS, 8), BT(ClassS, 8), LU(ClassS, 8), FT(ClassS, 8),
+		HPL(500, 8),
+		Sweep3D(8), SMG2000(12, 8), SAMRAI(8), Towhee(8), Aztec(8),
+	}
+	for _, p := range progs {
+		res := run(t, topo, p, alphas)
+		if res.Elapsed <= 0 {
+			t.Fatalf("%s: no time elapsed", p.Name)
+		}
+		// Every rank must have accounted time.
+		for _, pt := range res.Trace.Segments[0].Procs {
+			if pt.Busy() <= 0 {
+				t.Fatalf("%s: rank %d idle", p.Name, pt.Rank)
+			}
+		}
+	}
+}
+
+func TestProgramCharacterization(t *testing.T) {
+	// The comm-pattern classes that drive the paper's conclusions:
+	// EP/Towhee negligible comm, IS comm-dominated, LU/Aztec moderate
+	// latency-sensitive, sweep3d/SAMRAI all-to-all.
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+
+	ep := run(t, topo, EP(ClassA, 8), alphas)
+	if f := commFraction(ep.Trace); f > 0.02 {
+		t.Fatalf("EP comm fraction = %.3f, want ~0", f)
+	}
+	towhee := run(t, topo, Towhee(8), alphas)
+	if f := commFraction(towhee.Trace); f > 0.02 {
+		t.Fatalf("Towhee comm fraction = %.3f, want ~0", f)
+	}
+	is := run(t, topo, IS(ClassA, 8), alphas)
+	if f := commFraction(is.Trace); f < 0.3 {
+		t.Fatalf("IS comm fraction = %.3f, want comm-heavy", f)
+	}
+	ft := run(t, topo, FT(ClassA, 8), alphas)
+	if f := commFraction(ft.Trace); f < 0.15 {
+		t.Fatalf("FT comm fraction = %.3f, want transpose-heavy", f)
+	}
+	lu := run(t, topo, LU(ClassB, 8), alphas)
+	if f := commFraction(lu.Trace); f < 0.10 || f > 0.40 {
+		t.Fatalf("LU comm fraction = %.3f, want ≈0.2 (80/20 ratio of §6.2)", f)
+	}
+	az := run(t, topo, Aztec(8), alphas)
+	if f := commFraction(az.Trace); f < 0.12 || f > 0.45 {
+		t.Fatalf("Aztec comm fraction = %.3f, want ≈0.2-0.3", f)
+	}
+}
+
+func TestClassScaling(t *testing.T) {
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+	s := run(t, topo, LU(ClassS, 8), alphas)
+	a := run(t, topo, LU(ClassA, 8), alphas)
+	b := run(t, topo, LU(ClassB, 8), alphas)
+	if !(s.Elapsed < a.Elapsed && a.Elapsed < b.Elapsed) {
+		t.Fatalf("class scaling broken: S=%v A=%v B=%v", s.Elapsed, a.Elapsed, b.Elapsed)
+	}
+}
+
+func TestSMGSizeScaling(t *testing.T) {
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+	t12 := run(t, topo, SMG2000(12, 8), alphas)
+	t50 := run(t, topo, SMG2000(50, 8), alphas)
+	t60 := run(t, topo, SMG2000(60, 8), alphas)
+	if !(t12.Elapsed < t50.Elapsed && t50.Elapsed < t60.Elapsed) {
+		t.Fatalf("smg scaling broken: %v %v %v", t12.Elapsed, t50.Elapsed, t60.Elapsed)
+	}
+}
+
+func TestHPLSizeScaling(t *testing.T) {
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+	h1 := run(t, topo, HPL(500, 8), alphas)
+	h2 := run(t, topo, HPL(5000, 8), alphas)
+	if h1.Elapsed >= h2.Elapsed {
+		t.Fatalf("HPL scaling broken: %v vs %v", h1.Elapsed, h2.Elapsed)
+	}
+}
+
+func TestMappingSensitivity(t *testing.T) {
+	// LU must run measurably slower on a cross-federation mapping than on
+	// the same-switch Alpha group; Towhee must not care.
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+	sparcs := topo.NodesByArch(cluster.ArchSPARC)
+	mixed := []int{alphas[0], alphas[1], alphas[2], alphas[3], sparcs[0], sparcs[1], sparcs[2], sparcs[3]}
+
+	luGood := run(t, topo, LU(ClassA, 8), alphas)
+	luBad := run(t, topo, LU(ClassA, 8), mixed)
+	if float64(luBad.Elapsed) < float64(luGood.Elapsed)*1.15 {
+		t.Fatalf("LU mapping insensitivity: good %v vs bad %v", luGood.Elapsed, luBad.Elapsed)
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 4: {2, 2}, 8: {2, 4}, 12: {3, 4}, 16: {4, 4}, 7: {1, 7}}
+	for n, want := range cases {
+		px, py := grid2D(n)
+		if px != want[0] || py != want[1] {
+			t.Fatalf("grid2D(%d) = %d,%d want %v", n, px, py, want)
+		}
+		if px*py != n {
+			t.Fatalf("grid2D(%d) does not cover", n)
+		}
+	}
+	for r := 0; r < 8; r++ {
+		x, y := gridCoords(r, 2)
+		if gridRank(x, y, 2) != r {
+			t.Fatalf("grid coords roundtrip broken at %d", r)
+		}
+	}
+}
+
+func TestSyntheticOverlapReducesBlocking(t *testing.T) {
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+	mk := func(overlap float64) float64 {
+		p := Synthetic(SyntheticConfig{Ranks: 4, Iterations: 20, ComputePerIter: 0.02, MsgSize: 32 << 10, MsgsPerIter: 1, Overlap: overlap})
+		res := run(t, topo, p, alphas[:4])
+		return commFraction(res.Trace)
+	}
+	if noOverlap, full := mk(0), mk(1); full >= noOverlap {
+		t.Fatalf("overlap did not reduce blocked fraction: %.3f vs %.3f", full, noOverlap)
+	}
+}
+
+// TestReportCharacteristics logs the runtime and comm fraction of every
+// §6 program on the Grove high-speed group — the tuning table for matching
+// the paper's ranges (run with -v).
+func TestReportCharacteristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reporting only")
+	}
+	topo := cluster.NewOrangeGrove()
+	alphas := groveAlphas(topo)
+	progs := []Program{
+		LU(ClassB, 8),
+		HPL(500, 8), HPL(5000, 8), HPL(10000, 8),
+		Sweep3D(8), SMG2000(12, 8), SMG2000(50, 8), SMG2000(60, 8),
+		SAMRAI(8), Towhee(8), Aztec(8),
+	}
+	for _, p := range progs {
+		res := run(t, topo, p, alphas)
+		t.Logf("%-16s elapsed %8.1fs  comm %5.1f%%  msgs/rank %d",
+			p.Name, res.Elapsed.Seconds(), commFraction(res.Trace)*100,
+			len(res.Trace.Segments[0].Procs[0].Sends))
+	}
+}
