@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test verify ci bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verification (ROADMAP.md): everything must build and pass.
+verify: build test
+
+# CI target: vet plus the full suite under the race detector — the fast
+# path shares evaluators across scheduler workers, so racy regressions
+# must fail loudly.
+ci:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Short fuzz pass over the delta-evaluation invariants.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzEnergyDelta -fuzztime 30s ./internal/core/

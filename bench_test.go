@@ -11,9 +11,12 @@ package cbes
 // cmd/experiments, not by these benchmarks.
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
+	"cbes/internal/anneal"
 	"cbes/internal/bench"
 	"cbes/internal/cluster"
 	"cbes/internal/core"
@@ -233,4 +236,200 @@ func BenchmarkProfilePipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- fast-path benchmarks -------------------------------------------------
+
+// BenchmarkEnergyFastPath measures the allocation-free full evaluation
+// (Scorer.Energy) on the same workload as BenchmarkMappingEvaluation.
+func BenchmarkEnergyFastPath(b *testing.B) {
+	sys, prog := systemForBench(b)
+	eval, err := sys.Evaluator(prog.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := monitor.IdleSnapshot(sys.Topo.NumNodes())
+	m := core.Mapping(sys.Topo.NodesByArch(cluster.ArchAlpha))
+	sc := eval.Scorer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Energy(m, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnergyDelta measures incremental re-scoring of single moves —
+// the per-proposal cost the SA scheduler actually pays.
+func BenchmarkEnergyDelta(b *testing.B) {
+	sys, prog := systemForBench(b)
+	eval, err := sys.Evaluator(prog.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := monitor.IdleSnapshot(sys.Topo.NumNodes())
+	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel, cluster.ArchSPARC)
+	m := make(core.Mapping, prog.Ranks)
+	copy(m, pool)
+	sc := eval.Scorer()
+	if _, err := sc.Energy(m, snap); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Apply(core.Move{Rank: i % prog.Ranks, To: pool[i%len(pool)]})
+		sc.Undo()
+	}
+}
+
+// saThroughput times full SA scheduling decisions and reports energy
+// evaluations per second of wall time.
+func saThroughput(b *testing.B, run func(seed int64) int) {
+	b.Helper()
+	evals := 0
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		evals += run(int64(i))
+	}
+	secs := time.Since(start).Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(evals)/secs, "evals/s")
+	}
+}
+
+// BenchmarkSASchedulingFast is a full CS scheduling decision on Orange
+// Grove via the incremental fast path (the production configuration).
+func BenchmarkSASchedulingFast(b *testing.B) {
+	sys, prog := systemForBench(b)
+	eval, err := sys.Evaluator(prog.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel, cluster.ArchSPARC)
+	snap := monitor.IdleSnapshot(sys.Topo.NumNodes())
+	saThroughput(b, func(seed int64) int {
+		d, err := schedule.SimulatedAnnealing(&schedule.Request{
+			Eval: eval, Snap: snap, Pool: pool, Seed: seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d.Evaluations
+	})
+}
+
+// BenchmarkSASchedulingPredictBaseline is the pre-fast-path configuration
+// for comparison: the same annealing schedule and effort, but every
+// proposal is a mapping clone scored by a full Predict call — what
+// saSchedule did before the scorer existed. The fast path must beat its
+// evals/s by ≥5× (checked by TestFastPathSpeedupTarget, asserted here only
+// as a reported metric).
+func BenchmarkSASchedulingPredictBaseline(b *testing.B) {
+	sys, prog := systemForBench(b)
+	eval, err := sys.Evaluator(prog.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel, cluster.ArchSPARC)
+	snap := monitor.IdleSnapshot(sys.Topo.NumNodes())
+	saThroughput(b, func(seed int64) int {
+		return saPredictBaseline(b, eval, snap, pool, seed)
+	})
+}
+
+// saPredictBaseline runs one Predict-scored SA restart sequence matching
+// the legacy scheduler: 4 restarts, 1000 evaluations each, clone-based
+// neighbor proposals. Returns total evaluations performed.
+func saPredictBaseline(tb testing.TB, eval *core.Evaluator, snap *monitor.Snapshot, pool []int, seed int64) int {
+	energy := func(m core.Mapping) float64 {
+		p, err := eval.Predict(m, snap)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return p.Seconds
+	}
+	total := 0
+	for r := 0; r < 4; r++ {
+		rng := rand.New(rand.NewSource(seed + int64(1000*r)))
+		init := make(core.Mapping, eval.Prof.Ranks)
+		used := map[int]int{}
+		for i := range init {
+			for {
+				n := pool[rng.Intn(len(pool))]
+				if used[n] < 1 {
+					init[i] = n
+					used[n]++
+					break
+				}
+			}
+		}
+		_, _, st := anneal.Minimize(anneal.Config{
+			Seed:           seed + int64(1000*r) + 1,
+			MaxEvaluations: 1000,
+		}, init, energy, func(m core.Mapping, rng *rand.Rand) core.Mapping {
+			nm := m.Clone()
+			if rng.Intn(2) == 0 && len(nm) >= 2 {
+				i, j := rng.Intn(len(nm)), rng.Intn(len(nm))
+				nm[i], nm[j] = nm[j], nm[i]
+				return nm
+			}
+			u := nm.Multiplicity()
+			i := rng.Intn(len(nm))
+			for a := 0; a < 8*len(pool); a++ {
+				n := pool[rng.Intn(len(pool))]
+				if n != nm[i] && u[n] < 1 {
+					nm[i] = n
+					break
+				}
+			}
+			return nm
+		})
+		total += st.Evaluations
+	}
+	return total
+}
+
+// TestFastPathSpeedupTarget asserts the headline claim: SA scheduling on
+// Orange Grove achieves at least 5× the energy-evaluation throughput of
+// the Predict-per-proposal baseline. The measured gap is well over an
+// order of magnitude, so the 5× floor leaves ample room for machine noise.
+func TestFastPathSpeedupTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	b := &testing.B{}
+	sys, prog := systemForBench(b)
+	eval, err := sys.Evaluator(prog.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel, cluster.ArchSPARC)
+	snap := monitor.IdleSnapshot(sys.Topo.NumNodes())
+
+	rate := func(run func(seed int64) int) float64 {
+		// Warm up once, then time a few decisions.
+		run(0)
+		evals := 0
+		start := time.Now()
+		for s := int64(1); s <= 3; s++ {
+			evals += run(s)
+		}
+		return float64(evals) / time.Since(start).Seconds()
+	}
+	fast := rate(func(seed int64) int {
+		d, err := schedule.SimulatedAnnealing(&schedule.Request{
+			Eval: eval, Snap: snap, Pool: pool, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Evaluations
+	})
+	baseline := rate(func(seed int64) int {
+		return saPredictBaseline(t, eval, snap, pool, seed)
+	})
+	if fast < 5*baseline {
+		t.Fatalf("fast path %.0f evals/s < 5x baseline %.0f evals/s", fast, baseline)
+	}
+	t.Logf("fast %.0f evals/s, baseline %.0f evals/s (%.1fx)", fast, baseline, fast/baseline)
 }

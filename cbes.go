@@ -121,8 +121,11 @@ func (s *System) Profile(prog workloads.Program, mapping []int) (*profile.Profil
 	if len(mapping) != prog.Ranks {
 		return nil, fmt.Errorf("cbes: profiling mapping has %d nodes, program needs %d", len(mapping), prog.Ranks)
 	}
-	// Profiling happens off-line on a quiet system, like calibration.
+	// Profiling happens off-line on a quiet system, like calibration. The
+	// throwaway engine must be torn down afterwards or every profiling run
+	// leaks its node daemon goroutines for the life of the process.
 	eng := des.NewEngine()
+	defer eng.Shutdown()
 	vc := vcluster.New(eng, s.Topo)
 	net := simnet.New(eng, s.Topo)
 	res := mpisim.Run(vc, net, mapping, prog.Body, prog.Options())

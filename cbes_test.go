@@ -2,12 +2,15 @@ package cbes
 
 import (
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"cbes/internal/bench"
 	"cbes/internal/cluster"
 	"cbes/internal/core"
 	"cbes/internal/des"
+	"cbes/internal/mpisim"
 	"cbes/internal/workloads"
 )
 
@@ -139,5 +142,51 @@ func TestUseModelRoundTrip(t *testing.T) {
 	defer sys3.Close()
 	if err := sys3.UseModel(model); err == nil {
 		t.Fatal("model should not attach to a different cluster")
+	}
+}
+
+func TestProfileDoesNotLeakGoroutines(t *testing.T) {
+	// Regression: Profile used to spin up a throwaway DES engine and never
+	// shut it down. Any simulated process still alive when the profiling run
+	// completes — here a dynamically spawned child world the parent ranks do
+	// not await — stayed parked forever, leaking its goroutine on every
+	// profiling call.
+	sys := newSystem(t)
+	defer sys.Close()
+	prog := workloads.Program{
+		Name:  "straggler",
+		Ranks: 4,
+		Body: func(r *mpisim.Rank) {
+			if r.ID() == 0 {
+				// Unawaited long-running child: outlives the parent world.
+				r.SpawnWorld([]int{1}, func(c *mpisim.Rank) {
+					c.Compute(1000)
+				}, mpisim.Options{AppName: "straggler.child"})
+			}
+			r.Compute(0.05)
+		},
+	}
+	settled := func() int {
+		n := runtime.NumGoroutine()
+		for i := 0; i < 50; i++ {
+			time.Sleep(2 * time.Millisecond)
+			runtime.Gosched()
+			if m := runtime.NumGoroutine(); m <= n {
+				n = m
+			}
+		}
+		return n
+	}
+	sys.MustProfile(prog, []int{0, 1, 2, 3}) // warm any lazy infrastructure
+	before := settled()
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		sys.MustProfile(prog, []int{0, 1, 2, 3})
+	}
+	after := settled()
+	// Each leaked profiling engine pins at least the child-world goroutine;
+	// allow a little scheduler noise below that.
+	if after >= before+rounds {
+		t.Fatalf("goroutines grew %d -> %d across %d profiling runs", before, after, rounds)
 	}
 }

@@ -70,7 +70,7 @@ func Minimize[S any](cfg Config, initial S, energy func(S) float64, neighbor fun
 
 	temp := cfg.InitialTemp
 	if temp <= 0 {
-		temp = autoTemperature(cur, curE, energy, neighbor, rng, &st)
+		temp = autoTemperature(cur, curE, energy, neighbor, rng, &st, cfg.MaxEvaluations)
 	}
 	minTemp := temp * cfg.MinTemp
 
@@ -97,9 +97,13 @@ func Minimize[S any](cfg Config, initial S, energy func(S) float64, neighbor fun
 
 // autoTemperature estimates a starting temperature as the standard
 // deviation of energy over a short random walk, so that early uphill moves
-// are accepted with reasonable probability.
-func autoTemperature[S any](cur S, curE float64, energy func(S) float64, neighbor func(S, *rand.Rand) S, rng *rand.Rand, st *Stats) float64 {
-	const probes = 24
+// are accepted with reasonable probability. The walk never exceeds the
+// remaining evaluation budget.
+func autoTemperature[S any](cur S, curE float64, energy func(S) float64, neighbor func(S, *rand.Rand) S, rng *rand.Rand, st *Stats, maxEvals int) float64 {
+	probes := autoTempProbes
+	if remaining := maxEvals - st.Evaluations; probes > remaining {
+		probes = remaining
+	}
 	mean, m2 := 0.0, 0.0
 	n := 0.0
 	s := cur
@@ -113,9 +117,142 @@ func autoTemperature[S any](cur S, curE float64, energy func(S) float64, neighbo
 		mean += d / n
 		m2 += d * (e - mean)
 	}
+	return tempFromSpread(mean, m2, n, curE)
+}
+
+// autoTempProbes is the length of the auto-temperature sampling walk.
+const autoTempProbes = 24
+
+// tempFromSpread turns Welford accumulators into a starting temperature,
+// falling back to a fraction of the initial energy for degenerate samples.
+func tempFromSpread(mean, m2, n, curE float64) float64 {
 	sd := math.Sqrt(m2 / math.Max(1, n-1))
 	if sd <= 0 || math.IsNaN(sd) {
 		sd = math.Abs(curE)*0.1 + 1e-12
 	}
 	return sd
+}
+
+// IncrementalProblem describes an annealing problem whose state lives
+// outside the annealer and is perturbed by typed moves with delta
+// evaluation — the core.Scorer fast path. The annealer never sees the
+// state itself: it proposes, applies (receiving the new energy), and either
+// keeps the move or undoes it.
+type IncrementalProblem[M any] struct {
+	// InitialEnergy is the energy of the current (initial) state. Its
+	// computation is counted as the first evaluation.
+	InitialEnergy float64
+	// Propose draws a candidate move; ok=false means no move was available
+	// (e.g. a saturated pool) and nothing was evaluated.
+	Propose func(rng *rand.Rand) (mv M, ok bool)
+	// Apply applies the move to the state and returns the new energy.
+	Apply func(mv M) float64
+	// Undo reverts the most recent Apply.
+	Undo func()
+	// Commit, when non-nil, is called after a move is accepted: the state
+	// will never be undone past this point, so the problem may discard the
+	// undo record (keeps the scorer's journal depth at one).
+	Commit func()
+	// OnBest is called whenever the current state is the best seen so far
+	// (including once for the initial state); the callback should snapshot
+	// whatever it needs — the annealer itself keeps no state copy.
+	OnBest func()
+}
+
+// MinimizeIncremental anneals an incremental problem under the Metropolis
+// criterion. It is the fast-path twin of Minimize: rejected proposals cost
+// one delta evaluation and an undo instead of a full re-evaluation, and the
+// evaluation budget (Config.MaxEvaluations) is respected exactly — the
+// initial evaluation, the auto-temperature walk, and every proposal all
+// count against it, and the total never exceeds it.
+func MinimizeIncremental[M any](cfg Config, p IncrementalProblem[M]) (float64, Stats) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	curE := p.InitialEnergy
+	bestE := curE
+	st := Stats{Evaluations: 1}
+	if p.OnBest != nil {
+		p.OnBest()
+	}
+
+	// proposalPatience bounds consecutive failed proposals so a problem
+	// with no legal moves terminates.
+	const proposalPatience = 64
+
+	temp := cfg.InitialTemp
+	if temp <= 0 {
+		// Auto temperature: a short accepted walk from the initial state,
+		// capped by the remaining budget. Improvements found during the
+		// walk are kept as best like any other visit.
+		probes := autoTempProbes
+		if remaining := cfg.MaxEvaluations - st.Evaluations; probes > remaining {
+			probes = remaining
+		}
+		mean, m2 := 0.0, 0.0
+		n := 0.0
+		for i, misses := 0, 0; i < probes && misses < proposalPatience; {
+			mv, ok := p.Propose(rng)
+			if !ok {
+				misses++
+				continue
+			}
+			misses = 0
+			curE = p.Apply(mv)
+			if p.Commit != nil {
+				p.Commit()
+			}
+			st.Evaluations++
+			i++
+			n++
+			d := curE - mean
+			mean += d / n
+			m2 += d * (curE - mean)
+			if curE < bestE {
+				bestE = curE
+				st.Improved++
+				if p.OnBest != nil {
+					p.OnBest()
+				}
+			}
+		}
+		temp = tempFromSpread(mean, m2, n, p.InitialEnergy)
+	}
+	minTemp := temp * cfg.MinTemp
+
+	misses := 0
+	for temp > minTemp && st.Evaluations < cfg.MaxEvaluations && misses < proposalPatience {
+		for i := 0; i < cfg.StepsPerTemp && st.Evaluations < cfg.MaxEvaluations; i++ {
+			mv, ok := p.Propose(rng)
+			if !ok {
+				if misses++; misses >= proposalPatience {
+					break
+				}
+				continue
+			}
+			misses = 0
+			candE := p.Apply(mv)
+			st.Evaluations++
+			d := candE - curE
+			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				curE = candE
+				st.Accepted++
+				if p.Commit != nil {
+					p.Commit()
+				}
+				if curE < bestE {
+					bestE = curE
+					st.Improved++
+					if p.OnBest != nil {
+						p.OnBest()
+					}
+				}
+			} else {
+				p.Undo()
+			}
+		}
+		temp *= cfg.Cooling
+	}
+	st.FinalTemp = temp
+	return bestE, st
 }

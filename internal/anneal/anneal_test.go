@@ -93,3 +93,82 @@ func BenchmarkAnnealQuadratic(b *testing.B) {
 		Minimize(Config{Seed: int64(i), MaxEvaluations: 2000}, 100, energy, neighbor)
 	}
 }
+
+// incProblem adapts a 1-D integer walk to the incremental interface for
+// testing: state is a single int, moves are ±1 steps.
+type incProblem struct {
+	x, prev int
+	best    int
+	energy  func(int) float64
+	applies int
+}
+
+func (p *incProblem) problem() IncrementalProblem[int] {
+	return IncrementalProblem[int]{
+		InitialEnergy: p.energy(p.x),
+		Propose: func(r *rand.Rand) (int, bool) {
+			return r.Intn(3) - 1, true
+		},
+		Apply: func(mv int) float64 {
+			p.prev = p.x
+			p.x += mv
+			p.applies++
+			return p.energy(p.x)
+		},
+		Undo:   func() { p.x = p.prev },
+		OnBest: func() { p.best = p.x },
+	}
+}
+
+func TestIncrementalFindsMinimum(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := &incProblem{x: 60, energy: func(x int) float64 { d := float64(x - 7); return d * d }}
+		e, st := MinimizeIncremental(Config{Seed: seed, MaxEvaluations: 4000}, p.problem())
+		if e > 4 {
+			t.Fatalf("seed %d: best energy %v (x=%d), expected near 0", seed, e, p.best)
+		}
+		if st.Evaluations > 4000 {
+			t.Fatalf("seed %d: evaluations %d exceed cap", seed, st.Evaluations)
+		}
+	}
+}
+
+func TestIncrementalBudgetExact(t *testing.T) {
+	// Every budget — including ones smaller than the auto-temperature
+	// walk — is a hard cap, and Apply calls are evaluations minus the
+	// initial one.
+	for _, budget := range []int{1, 2, 5, 24, 25, 100, 1000} {
+		p := &incProblem{x: 50, energy: func(x int) float64 { return float64(x * x) }}
+		_, st := MinimizeIncremental(Config{Seed: 3, MaxEvaluations: budget}, p.problem())
+		if st.Evaluations > budget {
+			t.Fatalf("budget %d: used %d", budget, st.Evaluations)
+		}
+		if p.applies != st.Evaluations-1 {
+			t.Fatalf("budget %d: %d applies vs %d reported evaluations",
+				budget, p.applies, st.Evaluations)
+		}
+	}
+}
+
+func TestIncrementalBestNeverWorseThanInitial(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := &incProblem{x: 1000, energy: func(x int) float64 { return math.Abs(float64(x)) }}
+		e, _ := MinimizeIncremental(Config{Seed: seed, MaxEvaluations: 500}, p.problem())
+		if e > 1000 {
+			t.Fatalf("seed %d: best %v worse than initial 1000", seed, e)
+		}
+	}
+}
+
+func TestIncrementalNoProposalsTerminates(t *testing.T) {
+	p := IncrementalProblem[int]{
+		InitialEnergy: 5,
+		Propose:       func(*rand.Rand) (int, bool) { return 0, false },
+		Apply:         func(int) float64 { panic("apply without proposal") },
+		Undo:          func() {},
+	}
+	e, st := MinimizeIncremental(Config{Seed: 1, MaxEvaluations: 100}, p)
+	if e != 5 || st.Evaluations != 1 {
+		t.Fatalf("e=%v evals=%d", e, st.Evaluations)
+	}
+}

@@ -19,6 +19,10 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cbes/internal/cluster"
 	"cbes/internal/monitor"
@@ -96,6 +100,11 @@ type Prediction struct {
 // Evaluator predicts execution times for mappings of one profiled
 // application on one calibrated cluster. It is the core CBES module that
 // serves mapping-comparison requests.
+//
+// An Evaluator is safe for concurrent use: Predict, Energy, and Compare may
+// be called from multiple goroutines, and each Scorer drawn from it carries
+// its own scratch state. Do not copy an Evaluator after first use (derive
+// the NCS variant with CommBlind instead).
 type Evaluator struct {
 	Topo  *cluster.Topology
 	Model *netmodel.Model
@@ -105,9 +114,15 @@ type Evaluator struct {
 	// mappings by computation speed but its scores are not execution-time
 	// predictions.
 	IgnoreComm bool
+
+	mu     sync.Mutex // guards lazy fastIx construction
+	fastIx *fastIndex
+	pool   sync.Pool // *Scorer arena for Energy
 }
 
-// NewEvaluator builds an evaluator after sanity-checking its inputs.
+// NewEvaluator builds an evaluator after sanity-checking its inputs. The
+// fast-path lookup tables are precomputed here, so the evaluator can be
+// shared across scheduler workers without further synchronization.
 func NewEvaluator(topo *cluster.Topology, model *netmodel.Model, prof *profile.Profile) (*Evaluator, error) {
 	if prof.Cluster != topo.Name {
 		return nil, fmt.Errorf("core: profile from cluster %q, topology is %q", prof.Cluster, topo.Name)
@@ -115,7 +130,9 @@ func NewEvaluator(topo *cluster.Topology, model *netmodel.Model, prof *profile.P
 	if !prof.LambdasReady {
 		return nil, fmt.Errorf("core: profile lambdas not computed; call Profile.ComputeLambdas first")
 	}
-	return &Evaluator{Topo: topo, Model: model, Prof: prof}, nil
+	e := &Evaluator{Topo: topo, Model: model, Prof: prof}
+	e.fast()
+	return e, nil
 }
 
 // Predict evaluates mapping m under the resource conditions of snap and
@@ -185,24 +202,77 @@ func (e *Evaluator) commTerm(pp *profile.ProcProfile, m Mapping, snap *monitor.S
 	return theta * pp.Lambda
 }
 
+// compareParallelThreshold is the batch size above which Compare fans out
+// to a worker pool; smaller batches are not worth the goroutine overhead.
+const compareParallelThreshold = 4
+
 // Compare evaluates a batch of candidate mappings (a mapping-comparison
 // request from an external client such as a scheduler) and returns the
-// predictions in the same order plus the index of the fastest.
+// predictions in the same order plus the index of the fastest. Large
+// batches are evaluated concurrently by a bounded worker pool; the result
+// is identical to the sequential evaluation.
 func (e *Evaluator) Compare(ms []Mapping, snap *monitor.Snapshot) ([]*Prediction, int, error) {
 	if len(ms) == 0 {
 		return nil, -1, fmt.Errorf("core: no mappings to compare")
 	}
 	preds := make([]*Prediction, len(ms))
-	best := 0
-	for i, m := range ms {
-		p, err := e.Predict(m, snap)
-		if err != nil {
-			return nil, -1, err
+	if workers := boundedWorkers(len(ms)); workers > 1 && len(ms) >= compareParallelThreshold {
+		errs := make([]error, len(ms))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ms) {
+						return
+					}
+					preds[i], errs[i] = e.Predict(ms[i], snap)
+				}
+			}()
 		}
-		preds[i] = p
-		if p.Seconds < preds[best].Seconds {
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, -1, err
+			}
+		}
+	} else {
+		for i, m := range ms {
+			p, err := e.Predict(m, snap)
+			if err != nil {
+				return nil, -1, err
+			}
+			preds[i] = p
+		}
+	}
+	// NaN-aware best selection: a NaN prediction (corrupt profile or model)
+	// must never win by making every comparison false.
+	best := -1
+	for i, p := range preds {
+		if math.IsNaN(p.Seconds) {
+			continue
+		}
+		if best < 0 || p.Seconds < preds[best].Seconds {
 			best = i
 		}
 	}
+	if best < 0 {
+		best = 0 // every candidate NaN: keep the legacy fallback
+	}
 	return preds, best, nil
+}
+
+// boundedWorkers sizes a worker pool for n independent evaluations.
+func boundedWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }

@@ -79,13 +79,22 @@ func Minimize[G any](cfg Config, ops Ops[G]) (G, float64, Stats) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	st := Stats{}
 
-	pop := make([]scored[G], cfg.Population)
-	for i := range pop {
+	// The initial population also counts against the evaluation budget: at
+	// least one individual is always scored, but a budget smaller than the
+	// population size truncates it rather than overrunning.
+	pop := make([]scored[G], 0, cfg.Population)
+	for i := 0; i < cfg.Population; i++ {
+		if i > 0 && st.Evaluations >= cfg.MaxEvaluations {
+			break
+		}
 		g := ops.NewIndividual(rng)
-		pop[i] = scored[G]{g, ops.Fitness(g)}
+		pop = append(pop, scored[G]{g, ops.Fitness(g)})
 		st.Evaluations++
 	}
 	sortPop(pop)
+	if cfg.Elite >= len(pop) {
+		cfg.Elite = len(pop) - 1
+	}
 
 	for gen := 0; gen < cfg.Generations && st.Evaluations < cfg.MaxEvaluations; gen++ {
 		next := make([]scored[G], 0, cfg.Population)

@@ -137,6 +137,14 @@ func (m *Model) LatencyCond(src, dst int, size int64, aSrc, aDst, uSrc, uDst flo
 	if err != nil {
 		panic(err)
 	}
+	return c.Latency(size, aSrc, aDst, uSrc, uDst)
+}
+
+// Latency evaluates the load-adjusted latency estimate Lc on a prefetched
+// class. It performs exactly the arithmetic of Model.LatencyCond, so callers
+// holding a class from DenseClasses get bit-identical results to the
+// signature-lookup path — the invariant the core fast path relies on.
+func (c *Class) Latency(size int64, aSrc, aDst, uSrc, uDst float64) float64 {
 	l := c.Curve.At(size)
 	if aSrc > 0 && aSrc < 1 {
 		l += c.CSend * (1/aSrc - 1)
@@ -149,6 +157,25 @@ func (m *Model) LatencyCond(src, dst int, size int64, aSrc, aDst, uSrc, uDst flo
 		l += wire * (queueFactor(uSrc) + queueFactor(uDst))
 	}
 	return l
+}
+
+// DenseClasses resolves the path class of every ordered node pair into a
+// flat n×n table t (t[src*n+dst]); entries whose signature was never
+// calibrated are nil. The table lets hot loops skip the per-call signature
+// string construction and map lookup of ClassFor. The entries are copies
+// taken at call time: SetClass after DenseClasses does not update them.
+func (m *Model) DenseClasses() []*Class {
+	n := m.topo.NumNodes()
+	t := make([]*Class, n*n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if c, ok := m.Classes[m.topo.PathSignature(src, dst)]; ok {
+				cc := c
+				t[src*n+dst] = &cc
+			}
+		}
+	}
+	return t
 }
 
 func queueFactor(u float64) float64 {

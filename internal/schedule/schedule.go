@@ -13,12 +13,20 @@
 //
 // All schedulers respect an administrative node pool and a per-node slot
 // capacity, and are deterministic for a fixed seed.
+//
+// The search-based schedulers run on the core fast path: SA proposes typed
+// moves scored by incremental delta-evaluation (core.Scorer), independent
+// SA restarts run on a bounded worker pool, GA fitness uses the
+// allocation-free full evaluation, and the exhaustive walk re-scores only
+// the rank it reassigns at each level of its recursion.
 package schedule
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"cbes/internal/anneal"
@@ -42,14 +50,17 @@ type Request struct {
 	SlotsPerNode int
 	// Seed drives scheduler randomness.
 	Seed int64
-	// Effort scales search effort: total energy evaluations
-	// (default 4000 for SA and GA).
+	// Effort caps search effort: total energy evaluations
+	// (default 4000 for SA and GA). SA distributes it exactly across
+	// restarts and never exceeds it.
 	Effort int
 	// Restarts splits the SA effort across independent anneals from
 	// different random initial mappings, keeping the best (default 4).
 	// Deep local optima — e.g. a fast-architecture island behind a slow
 	// uplink — trap single anneals occasionally; restarts recover most of
-	// them, mirroring the ~90% hit rate of the paper's CS.
+	// them, mirroring the ~90% hit rate of the paper's CS. Restarts run
+	// concurrently on a bounded worker pool; the outcome is independent of
+	// scheduling order.
 	Restarts int
 	// Maximize searches for the worst mapping instead of the best — used
 	// by the worst-vs-best evaluation scenarios.
@@ -57,7 +68,10 @@ type Request struct {
 	// Constraint, when non-nil, restricts the search to mappings for which
 	// it returns true (e.g. "must include a SPARC node" to stay
 	// representative of a node group). Unsatisfying mappings receive a
-	// large energy penalty; Random resamples until satisfied.
+	// large energy penalty during the search; a scheduler whose final
+	// answer still violates the constraint returns an error rather than a
+	// penalty-polluted prediction. The function must be safe for
+	// concurrent calls (SA restarts evaluate it from worker goroutines).
 	Constraint func(core.Mapping) bool
 }
 
@@ -104,7 +118,8 @@ type Decision struct {
 	// Score is the value of the scheduler's own cost function (equals
 	// Predicted for CS; communication-blind for NCS; NaN for RS).
 	Score float64
-	// Evaluations counts cost-function calls.
+	// Evaluations counts cost-function calls. For SA it never exceeds the
+	// requested Effort.
 	Evaluations int
 	// SchedulerTime is the real (host) time the search took — the
 	// scheduling overhead column of tables 1 and 3.
@@ -129,19 +144,27 @@ func randomMapping(req *Request, rng *rand.Rand) core.Mapping {
 	return m
 }
 
-// neighbor proposes a small random modification: either move one rank to a
-// node with free capacity, or swap the nodes of two ranks.
+// neighbor proposes a small random modification of a mapping: either move
+// one rank to a node with free capacity, or swap the nodes of two ranks.
+// It is the mapping-copying mutation operator of the GA scheduler; SA
+// proposes the equivalent typed moves through proposeMove instead.
 func neighbor(req *Request, m core.Mapping, rng *rand.Rand) core.Mapping {
 	slots := req.slots()
 	nm := m.Clone()
 	if rng.Intn(2) == 0 && len(m) >= 2 {
-		// Swap two ranks.
-		i, j := rng.Intn(len(nm)), rng.Intn(len(nm))
-		for j == i {
-			j = rng.Intn(len(nm))
+		// Swap two ranks — retrying past degenerate pairs (same rank or
+		// same node) that would produce an identical mapping and waste an
+		// energy evaluation.
+		for attempt := 0; attempt < 8; attempt++ {
+			i, j := rng.Intn(len(nm)), rng.Intn(len(nm))
+			if i == j || nm[i] == nm[j] {
+				continue
+			}
+			nm[i], nm[j] = nm[j], nm[i]
+			return nm
 		}
-		nm[i], nm[j] = nm[j], nm[i]
-		return nm
+		// Every sampled swap was degenerate (e.g. all ranks co-located):
+		// fall through to a move.
 	}
 	// Move one rank to a node with spare capacity.
 	used := nm.Multiplicity()
@@ -154,6 +177,31 @@ func neighbor(req *Request, m core.Mapping, rng *rand.Rand) core.Mapping {
 		}
 	}
 	return nm // saturated pool: fall back to unchanged (swap next time)
+}
+
+// proposeMove draws a typed move for the incremental SA fast path: the
+// same proposal distribution as neighbor, but expressed as a core.Move
+// against the scorer's current state instead of a fresh mapping copy.
+// ok=false means no non-degenerate move was found (saturated pool).
+func proposeMove(req *Request, sc *core.Scorer, rng *rand.Rand) (core.Move, bool) {
+	m := sc.Current()
+	slots := req.slots()
+	if rng.Intn(2) == 0 && len(m) >= 2 {
+		for attempt := 0; attempt < 8; attempt++ {
+			i, j := rng.Intn(len(m)), rng.Intn(len(m))
+			if i != j && m[i] != m[j] {
+				return core.Move{Swap: true, A: i, B: j}, true
+			}
+		}
+	}
+	i := rng.Intn(len(m))
+	for attempts := 0; attempts < 8*len(req.Pool); attempts++ {
+		n := req.Pool[rng.Intn(len(req.Pool))]
+		if n != m[i] && sc.NodeLoad(n) < slots {
+			return core.Move{Rank: i, To: n}, true
+		}
+	}
+	return core.Move{}, false
 }
 
 // predictFull evaluates a mapping with the full CBES operation.
@@ -188,56 +236,126 @@ func Random(req *Request) (*Decision, error) {
 	return d, nil
 }
 
-// saSchedule runs simulated annealing over mappings with the given energy,
-// restarting from independent random initials and keeping the best.
-func saSchedule(req *Request, energy func(core.Mapping) float64) (core.Mapping, float64, int) {
+// saResult is the outcome of one independent SA restart.
+type saResult struct {
+	m     core.Mapping
+	e     float64 // penalized, sign-adjusted energy of m
+	evals int
+	err   error
+}
+
+// saRestart runs one anneal from a random initial mapping on the
+// incremental fast path, spending at most budget energy evaluations.
+func saRestart(req *Request, sign float64, seed int64, budget int) saResult {
+	rng := rand.New(rand.NewSource(seed))
+	initial := randomMapping(req, rng)
+	sc := req.Eval.Scorer()
+	raw, err := sc.Energy(initial, req.Snap)
+	if err != nil {
+		return saResult{err: err}
+	}
+	penalize := func(e float64) float64 {
+		if req.Constraint != nil && !req.Constraint(sc.Current()) {
+			return e + constraintPenalty
+		}
+		return e
+	}
+	best := initial.Clone()
+	bestE, st := anneal.MinimizeIncremental(anneal.Config{
+		MaxEvaluations: budget,
+		Seed:           seed + 1,
+	}, anneal.IncrementalProblem[core.Move]{
+		InitialEnergy: penalize(sign * raw),
+		Propose: func(rr *rand.Rand) (core.Move, bool) {
+			return proposeMove(req, sc, rr)
+		},
+		Apply: func(mv core.Move) float64 {
+			return penalize(sign * sc.Apply(mv))
+		},
+		Undo:   sc.Undo,
+		Commit: sc.Commit,
+		OnBest: func() { copy(best, sc.Current()) },
+	})
+	return saResult{m: best, e: bestE, evals: st.Evaluations}
+}
+
+// saSchedule runs simulated annealing over mappings, distributing the
+// effort budget exactly across independent restarts that execute
+// concurrently on a bounded worker pool, and keeping the best result
+// (ties broken by restart index, so the outcome is deterministic).
+func saSchedule(req *Request) (core.Mapping, float64, int, error) {
 	restarts := req.Restarts
 	if restarts <= 0 {
 		restarts = 4
+	}
+	effort := req.effort()
+	if restarts > effort {
+		restarts = effort
 	}
 	sign := 1.0
 	if req.Maximize {
 		sign = -1.0
 	}
-	perRun := req.effort() / restarts
-	if perRun < 100 {
-		perRun = 100
+	// Distribute the budget exactly: the first effort%restarts anneals get
+	// one extra evaluation, so Σ budgets == effort.
+	base, rem := effort/restarts, effort%restarts
+
+	results := make([]saResult, restarts)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > restarts {
+		workers = restarts
 	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for r := 0; r < restarts; r++ {
+		budget := base
+		if r < rem {
+			budget++
+		}
+		wg.Add(1)
+		go func(r, budget int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[r] = saRestart(req, sign, req.Seed+int64(1000*r), budget)
+		}(r, budget)
+	}
+	wg.Wait()
+
 	var best core.Mapping
 	bestE := 0.0
 	evals := 0
-	penalized := func(m core.Mapping) float64 {
-		e := sign * energy(m)
-		if req.Constraint != nil && !req.Constraint(m) {
-			e += constraintPenalty
+	for r := range results {
+		res := &results[r]
+		if res.err != nil {
+			return nil, 0, 0, res.err
 		}
-		return e
-	}
-	for r := 0; r < restarts; r++ {
-		rng := rand.New(rand.NewSource(req.Seed + int64(1000*r)))
-		initial := randomMapping(req, rng)
-		m, e, st := anneal.Minimize(anneal.Config{
-			MaxEvaluations: perRun,
-			Seed:           req.Seed + int64(1000*r) + 1,
-		}, initial, penalized,
-			func(m core.Mapping, rr *rand.Rand) core.Mapping { return neighbor(req, m, rr) },
-		)
-		evals += st.Evaluations
-		if best == nil || e < bestE {
-			best, bestE = m, e
+		evals += res.evals
+		if best == nil || res.e < bestE {
+			best, bestE = res.m, res.e
 		}
 	}
-	return best, sign * bestE, evals
+	if req.Constraint != nil && !req.Constraint(best) {
+		// No restart found a satisfying mapping: bestE still carries the
+		// constraint penalty and is not an execution-time prediction —
+		// surface that as an error instead of a nonsense Decision.
+		return nil, 0, 0, fmt.Errorf("schedule: no constraint-satisfying mapping found within effort %d", effort)
+	}
+	return best, sign * bestE, evals, nil
 }
 
 // SimulatedAnnealing is the CS scheduler: SA with the full CBES
-// mapping-evaluation operation as energy function.
+// mapping-evaluation operation as energy function, served by the
+// incremental fast path (Scorer delta-evaluation per proposed move).
 func SimulatedAnnealing(req *Request) (*Decision, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	best, bestE, evals := saSchedule(req, func(m core.Mapping) float64 { return predictFull(req, m) })
+	best, bestE, evals, err := saSchedule(req)
+	if err != nil {
+		return nil, err
+	}
 	return &Decision{
 		Mapping:       best,
 		Predicted:     bestE,
@@ -257,17 +375,12 @@ func SimulatedAnnealingNoComm(req *Request) (*Decision, error) {
 		return nil, err
 	}
 	start := time.Now()
-	blind := *req.Eval
-	blind.IgnoreComm = true
 	blindReq := *req
-	blindReq.Eval = &blind
-	best, bestE, evals := saSchedule(&blindReq, func(m core.Mapping) float64 {
-		p, err := blind.Predict(m, req.Snap)
-		if err != nil {
-			panic(err)
-		}
-		return p.Seconds
-	})
+	blindReq.Eval = req.Eval.CommBlind()
+	best, bestE, evals, err := saSchedule(&blindReq)
+	if err != nil {
+		return nil, err
+	}
 	return &Decision{
 		Mapping:       best,
 		Predicted:     predictFull(req, best),
@@ -278,7 +391,8 @@ func SimulatedAnnealingNoComm(req *Request) (*Decision, error) {
 }
 
 // Genetic is the GA scheduler (future-work algorithm): evolves mappings
-// with uniform crossover repaired to respect slot capacities.
+// with uniform crossover repaired to respect slot capacities. Fitness runs
+// on the allocation-free full evaluation of the fast path.
 func Genetic(req *Request) (*Decision, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
@@ -306,8 +420,13 @@ func Genetic(req *Request) (*Decision, error) {
 		}
 		return m
 	}
+	sc := req.Eval.Scorer()
 	fitness := func(m core.Mapping) float64 {
-		f := sign * predictFull(req, m)
+		e, err := sc.Energy(m, req.Snap)
+		if err != nil {
+			panic(fmt.Sprintf("schedule: energy: %v", err))
+		}
+		f := sign * e
 		if req.Constraint != nil && !req.Constraint(m) {
 			f += constraintPenalty
 		}
@@ -332,6 +451,9 @@ func Genetic(req *Request) (*Decision, error) {
 			return neighbor(req, m, rng)
 		},
 	})
+	if req.Constraint != nil && !req.Constraint(best) {
+		return nil, fmt.Errorf("schedule: no constraint-satisfying mapping found within effort %d", req.effort())
+	}
 	return &Decision{
 		Mapping:       best,
 		Predicted:     sign * bestF,
@@ -343,28 +465,38 @@ func Genetic(req *Request) (*Decision, error) {
 
 // Exhaustive enumerates every valid mapping (ranks placed on pool nodes,
 // respecting slots) and returns the true optimum. Use only for small
-// pools: the space is |Pool|^ranks before capacity pruning.
+// pools: the space is |Pool|^ranks before capacity pruning. The walk runs
+// on the incremental fast path: entering a recursion level applies a
+// single-rank move to the scorer and leaving it undoes the move, so each
+// enumerated mapping costs one delta evaluation instead of a full one.
 func Exhaustive(req *Request) (*Decision, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	slots := req.slots()
+	sc := req.Eval.Scorer()
+	m := make(core.Mapping, req.ranks())
+	for i := range m {
+		m[i] = req.Pool[0]
+	}
+	if _, err := sc.Energy(m, req.Snap); err != nil {
+		return nil, err
+	}
 	best := core.Mapping(nil)
 	bestE := math.Inf(1)
 	if req.Maximize {
 		bestE = math.Inf(-1)
 	}
 	evals := 0
-	m := make(core.Mapping, req.ranks())
 	used := make(map[int]int)
 	var walk func(rank int)
 	walk = func(rank int) {
 		if rank == len(m) {
-			if req.Constraint != nil && !req.Constraint(m) {
+			if req.Constraint != nil && !req.Constraint(sc.Current()) {
 				return
 			}
-			e := predictFull(req, m)
+			e := sc.EnergyNow()
 			evals++
 			better := e < bestE
 			if req.Maximize {
@@ -372,7 +504,7 @@ func Exhaustive(req *Request) (*Decision, error) {
 			}
 			if better {
 				bestE = e
-				best = m.Clone()
+				best = sc.Current().Clone()
 			}
 			return
 		}
@@ -381,8 +513,9 @@ func Exhaustive(req *Request) (*Decision, error) {
 				continue
 			}
 			used[n]++
-			m[rank] = n
+			sc.Apply(core.Move{Rank: rank, To: n})
 			walk(rank + 1)
+			sc.Undo()
 			used[n]--
 		}
 	}

@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"cbes/internal/bench"
@@ -287,6 +288,137 @@ func TestSchedulerDeterminism(t *testing.T) {
 	b, _ := SimulatedAnnealing(f.request(pool, 42))
 	if !a.Mapping.Equal(b.Mapping) || a.Predicted != b.Predicted {
 		t.Fatal("CS nondeterministic for fixed seed")
+	}
+}
+
+func TestSAEvaluationsWithinEffort(t *testing.T) {
+	// Regression: the old budget split (Effort/restarts clamped to ≥100)
+	// could overrun small budgets and silently drop remainders of large
+	// ones. The budget must now be a hard cap for any Effort/Restarts combo.
+	f := newFixture(t)
+	pool := allNodes(f)
+	for _, tc := range []struct{ effort, restarts int }{
+		{50, 4}, {101, 4}, {4000, 4}, {7, 3}, {3, 8}, {1, 1}, {250, 7},
+	} {
+		req := f.request(pool, 11)
+		req.Effort = tc.effort
+		req.Restarts = tc.restarts
+		d, err := SimulatedAnnealing(req)
+		if err != nil {
+			t.Fatalf("effort=%d restarts=%d: %v", tc.effort, tc.restarts, err)
+		}
+		if d.Evaluations > tc.effort {
+			t.Fatalf("effort=%d restarts=%d: used %d evaluations",
+				tc.effort, tc.restarts, d.Evaluations)
+		}
+		if d.Evaluations == 0 {
+			t.Fatalf("effort=%d restarts=%d: no evaluations at all", tc.effort, tc.restarts)
+		}
+	}
+}
+
+func TestConstraintSatisfiedHasNoPenalty(t *testing.T) {
+	// A satisfiable constraint must steer the search without leaking the
+	// 1e9 penalty into Decision.Predicted.
+	f := newFixture(t)
+	pool := allNodes(f)
+	req := f.request(pool, 9)
+	req.Constraint = func(m core.Mapping) bool {
+		for _, n := range m {
+			if n == 4 || n == 5 { // must use a SPARC node
+				return true
+			}
+		}
+		return false
+	}
+	d, err := SimulatedAnnealing(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req.Constraint(d.Mapping) {
+		t.Fatalf("constraint not satisfied: %v", d.Mapping)
+	}
+	if d.Predicted >= constraintPenalty/2 {
+		t.Fatalf("penalty leaked into prediction: %v", d.Predicted)
+	}
+	want, err := f.eval.Predict(d.Mapping, f.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Predicted != want.Seconds {
+		t.Fatalf("Predicted %v != full prediction %v", d.Predicted, want.Seconds)
+	}
+}
+
+func TestConstraintUnsatisfiableReturnsError(t *testing.T) {
+	// Regression: CS used to return a Decision whose Predicted contained
+	// the constraint penalty; it must return an explicit error like RS.
+	f := newFixture(t)
+	pool := allNodes(f)
+	never := func(core.Mapping) bool { return false }
+	for name, run := range map[string]func(*Request) (*Decision, error){
+		"CS":  SimulatedAnnealing,
+		"NCS": SimulatedAnnealingNoComm,
+		"GA":  Genetic,
+		"RS":  Random,
+	} {
+		req := f.request(pool, 13)
+		req.Effort = 400
+		req.Constraint = never
+		d, err := run(req)
+		if err == nil {
+			t.Fatalf("%s: unsatisfiable constraint returned %+v instead of error", name, d)
+		}
+	}
+	// Exhaustive reports infeasibility too.
+	reqEx := f.request([]int{0, 1, 2, 3}, 13)
+	reqEx.Constraint = never
+	if d, err := Exhaustive(reqEx); err == nil {
+		t.Fatalf("Exhaustive: unsatisfiable constraint returned %+v instead of error", d)
+	}
+}
+
+func TestSADeterministicAcrossParallelism(t *testing.T) {
+	// Restarts run concurrently; the outcome must not depend on worker
+	// scheduling. Compare a parallel run against a serialized one.
+	f := newFixture(t)
+	pool := allNodes(f)
+	req := f.request(pool, 21)
+	req.Restarts = 6
+	a, err := SimulatedAnnealing(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2 := f.request(pool, 21)
+	req2.Restarts = 6
+	prev := runtime.GOMAXPROCS(1)
+	b, err := SimulatedAnnealing(req2)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mapping.Equal(b.Mapping) || a.Predicted != b.Predicted {
+		t.Fatalf("parallel %v (%v) != serial %v (%v)",
+			a.Mapping, a.Predicted, b.Mapping, b.Predicted)
+	}
+}
+
+func TestSAPredictedMatchesFullEvaluation(t *testing.T) {
+	// The incremental fast path must hand back exactly the energy a full
+	// evaluation of the chosen mapping produces.
+	f := newFixture(t)
+	for s := int64(0); s < 4; s++ {
+		d, err := SimulatedAnnealing(f.request(allNodes(f), s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := f.eval.Predict(d.Mapping, f.snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Predicted != p.Seconds {
+			t.Fatalf("seed %d: Predicted %v != Predict %v", s, d.Predicted, p.Seconds)
+		}
 	}
 }
 
