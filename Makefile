@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify ci bench fuzz
+.PHONY: build test verify ci bench obs-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,19 @@ ci:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./...
 
+# Run the benchmark suite and archive it as machine-readable JSON
+# (name -> ns/op, allocs/op, evals/s) for cross-commit comparison. The
+# raw text lands in BENCH_cbes.txt; the > (not a pipe) keeps a bench
+# failure failing the target.
 bench:
-	$(GO) test -run xxx -bench . -benchmem ./...
+	$(GO) test -run xxx -bench . -benchmem ./... > BENCH_cbes.txt
+	$(GO) run ./cmd/benchjson -o BENCH_cbes.json < BENCH_cbes.txt
+
+# End-to-end observability smoke test: boots cbesd with -debug-listen,
+# drives a scheduling request, asserts /healthz plus non-zero core
+# series in /metrics, and checks clean SIGTERM shutdown.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # Short fuzz pass over the delta-evaluation invariants.
 fuzz:

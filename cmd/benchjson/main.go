@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// machine-readable JSON document, so benchmark runs can be archived and
+// diffed across commits without scraping ad-hoc text.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson -o BENCH_cbes.json
+//
+// Lines that are not benchmark results (PASS, ok, compile noise) pass
+// through to stderr untouched, so the tool can sit at the end of a pipe
+// without hiding failures.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's parsed measurements. Only NsPerOp is
+// always present; the rest appear when -benchmem or b.ReportMetric
+// produced them.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// EvalsPerSec is the CBES scheduler suite's custom throughput metric
+	// (mapping evaluations per second, emitted via b.ReportMetric).
+	EvalsPerSec float64 `json:"evals_per_sec,omitempty"`
+	// Extra collects any other custom unit → value pairs verbatim.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_cbes.json", "output file; - writes to stdout")
+	flag.Parse()
+
+	results := make(map[string]*Result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		r, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		// Same benchmark can appear once per package run under ./...;
+		// keep the fastest sample (steadiest machine state).
+		if prev, dup := results[r.Name]; !dup || r.NsPerOp < prev.NsPerOp {
+			results[r.Name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	sorted := make([]*Result, 0, len(results))
+	for _, r := range results {
+		sorted = append(sorted, r)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	enc, err := json.MarshalIndent(sorted, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(sorted), *out)
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkCounterInc-8   135640867     8.533 ns/op    0 B/op    0 allocs/op
+//
+// Measurements come in trailing "<value> <unit>" pairs.
+func parseLine(line string) (*Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return nil, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	r := &Result{Name: trimProcSuffix(f[0]), Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return nil, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp, seen = v, true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		case "evals/s":
+			r.EvalsPerSec = v
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[f[i+1]] = v
+		}
+	}
+	return r, seen
+}
+
+// trimProcSuffix strips the trailing GOMAXPROCS marker ("-8") so names
+// are stable across machines.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

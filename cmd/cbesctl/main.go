@@ -7,6 +7,7 @@
 //	cbesctl [-addr ...] compare  -app lu.B.8 -mapping 0,1,2,3,4,5,6,7 -mapping 20,21,...
 //	cbesctl [-addr ...] schedule -app lu.B.8 -alg cs -pool 0-7,10-21 [-seed 1]
 //	cbesctl [-addr ...] advance  -seconds 30
+//	cbesctl [-addr ...] metrics  [-format prom|json]
 package main
 
 import (
@@ -81,6 +82,7 @@ func main() {
 	seed := sub.Int64("seed", 1, "scheduler seed")
 	seconds := sub.Float64("seconds", 10, "simulated seconds to advance")
 	explain := sub.Bool("explain", false, "evaluate: show the per-process R/C breakdown")
+	format := sub.String("format", "prom", "metrics format: prom (Prometheus text) or json")
 	var mappings mappingsFlag
 	sub.Var(&mappings, "mapping", "mapping as node list (repeatable for compare)")
 	if err := sub.Parse(flag.Args()[1:]); err != nil {
@@ -151,13 +153,22 @@ func main() {
 		fmt.Printf("mapping   : %v\n", r.Mapping)
 		fmt.Printf("predicted : %.3fs\n", r.Predicted)
 		fmt.Printf("evals     : %d\n", r.Evaluations)
-		fmt.Printf("scheduler : %dms\n", r.SchedulerMillis)
+		fmt.Printf("scheduler : %dµs\n", r.SchedulerMicros)
 	case "advance":
 		r, err := c.Advance(*seconds)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("sim time now %.1fs\n", r.SimSeconds)
+	case "metrics":
+		r, err := c.Metrics(*format)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(r.Text)
+		if !strings.HasSuffix(r.Text, "\n") {
+			fmt.Println()
+		}
 	default:
 		usage()
 	}
@@ -172,6 +183,6 @@ func fmtFloats(xs []float64) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cbesctl [-addr host:port] status|evaluate|compare|schedule|advance [flags]")
+	fmt.Fprintln(os.Stderr, "usage: cbesctl [-addr host:port] status|evaluate|compare|schedule|advance|metrics [flags]")
 	os.Exit(2)
 }

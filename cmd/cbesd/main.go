@@ -5,30 +5,58 @@
 //
 // Usage:
 //
-//	cbesd [-listen 127.0.0.1:7411] [-cluster grove|centurion] [-db ./cbesdb]
-//	      [-apps lu.B.8,aztec.8,...]
+//	cbesd [-listen 127.0.0.1:7411] [-cluster grove|centurion|test] [-db ./cbesdb]
+//	      [-apps lu.B.8,aztec.8,...] [-debug-listen 127.0.0.1:7412]
+//	      [-span-log spans.jsonl]
+//
+// With -debug-listen set, the daemon also serves an HTTP observability
+// endpoint: /metrics (Prometheus text exposition), /debug/vars (expvar
+// JSON), /debug/spans (recent traced spans), /healthz, and the standard
+// /debug/pprof profiles. The same metrics are available over RPC via
+// `cbesctl metrics`, so the control plane can scrape without HTTP.
+//
+// SIGINT/SIGTERM shut the daemon down cleanly: the listeners close, the
+// RPC loop drains, and the simulation engine is reaped.
 //
 // Use cbesctl to query the daemon.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"cbes"
 	"cbes/internal/bench"
 	"cbes/internal/cluster"
 	"cbes/internal/db"
+	"cbes/internal/obs"
 	"cbes/internal/service"
 	"cbes/internal/workloads"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7411", "address to serve on")
-	clusterName := flag.String("cluster", "grove", "testbed: grove or centurion")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run carries the daemon lifecycle so every defer (notably sys.Close,
+// which reaps the DES engine goroutines) executes on all exit paths —
+// log.Fatal in main would skip them.
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:7411", "address to serve RPC on")
+	debugListen := flag.String("debug-listen", "", "address for the HTTP debug endpoint (/metrics, /healthz, pprof); empty disables")
+	spanLog := flag.String("span-log", "", "append traced spans as JSONL to this file; empty disables")
+	clusterName := flag.String("cluster", "grove", "testbed: grove, centurion, or test (small 8-node topology)")
 	dbDir := flag.String("db", "./cbesdb", "CBES database directory (models/profiles cache)")
 	apps := flag.String("apps", "lu.B.8,aztec.8,hpl.5000.8", "comma-separated application models to profile")
 	flag.Parse()
@@ -39,13 +67,24 @@ func main() {
 		topo = cluster.NewOrangeGrove()
 	case "centurion":
 		topo = cluster.NewCenturion()
+	case "test":
+		topo = cluster.NewTestTopology()
 	default:
-		log.Fatalf("unknown cluster %q", *clusterName)
+		return fmt.Errorf("unknown cluster %q", *clusterName)
 	}
 
 	store, err := db.Open(*dbDir)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+
+	if *spanLog != "" {
+		f, err := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		obs.DefaultTracer().SetSink(f)
 	}
 
 	sys := cbes.NewSystem(topo, cbes.Config{})
@@ -54,7 +93,7 @@ func main() {
 	// Load or perform the off-line calibration.
 	if model, err := store.LoadModel(topo.Name); err == nil {
 		if err := sys.UseModel(model); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("loaded calibrated model for %s from %s", topo.Name, store.Dir())
 	} else {
@@ -75,7 +114,7 @@ func main() {
 		}
 		prog, err := workloads.Lookup(name)
 		if err != nil {
-			log.Fatalf("%v (kinds: %s; e.g. lu.B.8, hpl.10000.8, smg2000.50.8)",
+			return fmt.Errorf("%v (kinds: %s; e.g. lu.B.8, hpl.10000.8, smg2000.50.8)",
 				err, strings.Join(workloads.Kinds(), ", "))
 		}
 		if p, err := store.LoadProfile(name); err == nil && p.Cluster == topo.Name {
@@ -86,7 +125,7 @@ func main() {
 		log.Printf("profiling %s on %d nodes...", name, prog.Ranks)
 		p, err := sys.Profile(prog, profMapping[:prog.Ranks])
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := store.SaveProfile(p); err != nil {
 			log.Printf("warning: could not persist profile: %v", err)
@@ -95,11 +134,64 @@ func main() {
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+
+	// Debug HTTP endpoint: metrics, expvar, spans, health, pprof.
+	var debugSrv *http.Server
+	if *debugListen != "" {
+		dl, err := net.Listen("tcp", *debugListen)
+		if err != nil {
+			l.Close()
+			return err
+		}
+		ready := &readiness{sys: sys}
+		debugSrv = &http.Server{Handler: obs.DebugMux(obs.Default(), obs.DefaultTracer(), ready.check)}
+		go func() {
+			if err := debugSrv.Serve(dl); err != nil && err != http.ErrServerClosed {
+				log.Printf("cbesd: debug endpoint: %v", err)
+			}
+		}()
+		log.Printf("cbesd: debug endpoint on http://%s (/metrics /debug/vars /debug/spans /healthz /debug/pprof)", dl.Addr())
+	}
+
 	fmt.Printf("cbesd: serving %s (%d nodes) on %s, apps: %s\n",
 		topo.Name, topo.NumNodes(), l.Addr(), strings.Join(sys.Apps(), ", "))
-	log.Fatal(service.Serve(sys, l))
+
+	// Serve until the RPC loop fails or a termination signal arrives.
+	// Closing the listener makes Serve return nil (the clean-exit
+	// contract), after which the deferred sys.Close reaps the engine.
+	errc := make(chan error, 1)
+	go func() { errc <- service.Serve(sys, l) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err = <-errc:
+	case sig := <-sigc:
+		log.Printf("cbesd: %v: shutting down", sig)
+		l.Close()
+		err = <-errc
+	}
+	if debugSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		debugSrv.Shutdown(ctx) //nolint:errcheck // best-effort drain
+		cancel()
+	}
+	return err
+}
+
+// readiness gates /healthz: the endpoint only starts once boot finished,
+// so reporting healthy whenever at least one application is registered
+// (or none were requested) is the honest liveness signal.
+type readiness struct {
+	sys *cbes.System
+}
+
+func (r *readiness) check() error {
+	if r.sys.Model == nil {
+		return fmt.Errorf("not calibrated")
+	}
+	return nil
 }
 
 // defaultProfilingNodes picks a deterministic profiling mapping: the

@@ -8,7 +8,59 @@ package anneal
 import (
 	"math"
 	"math/rand"
+
+	"cbes/internal/obs"
 )
+
+// Annealing observability: counters aggregate across every run (and
+// every concurrent restart); the gauges hold the most recently finished
+// run's summary — with parallel restarts that is "last writer wins",
+// which is the useful live view ("what is SA doing right now") without
+// unbounded label cardinality. Each run also records one span with its
+// temperature trajectory endpoints.
+var (
+	metricRuns = obs.Default().Counter(
+		"cbes_sa_runs_total", "Completed annealing runs (one per restart).")
+	metricEvals = obs.Default().Counter(
+		"cbes_sa_evals_total", "Energy evaluations across all annealing runs.")
+	metricAccepted = obs.Default().Counter(
+		"cbes_sa_accepted_total", "Accepted Metropolis moves across all runs.")
+	metricImproved = obs.Default().Counter(
+		"cbes_sa_improved_total", "Moves that improved the best energy so far.")
+	gaugeAcceptance = obs.Default().Gauge(
+		"cbes_sa_acceptance_rate", "Accepted/evaluated ratio of the last finished run.")
+	gaugeBestEnergy = obs.Default().Gauge(
+		"cbes_sa_best_energy", "Best (lowest) energy of the last finished run.")
+	gaugeInitialTemp = obs.Default().Gauge(
+		"cbes_sa_initial_temp", "Starting temperature of the last finished run.")
+	gaugeFinalTemp = obs.Default().Gauge(
+		"cbes_sa_final_temp", "Final temperature of the last finished run.")
+)
+
+// observeRun publishes one finished run's statistics and span.
+func observeRun(kind string, initialTemp, bestE float64, st Stats, span *obs.ActiveSpan) {
+	metricRuns.Inc()
+	metricEvals.Add(uint64(st.Evaluations))
+	metricAccepted.Add(uint64(st.Accepted))
+	metricImproved.Add(uint64(st.Improved))
+	rate := 0.0
+	if st.Evaluations > 0 {
+		rate = float64(st.Accepted) / float64(st.Evaluations)
+	}
+	gaugeAcceptance.Set(rate)
+	gaugeBestEnergy.Set(bestE)
+	gaugeInitialTemp.Set(initialTemp)
+	gaugeFinalTemp.Set(st.FinalTemp)
+	span.Attr("kind", kind).
+		Attr("evals", st.Evaluations).
+		Attr("accepted", st.Accepted).
+		Attr("improved", st.Improved).
+		Attr("acceptance_rate", rate).
+		Attr("initial_temp", initialTemp).
+		Attr("final_temp", st.FinalTemp).
+		Attr("best_energy", bestE).
+		End()
+}
 
 // Config tunes the annealing schedule.
 type Config struct {
@@ -61,6 +113,7 @@ type Stats struct {
 // must return a fresh state (or a modified copy).
 func Minimize[S any](cfg Config, initial S, energy func(S) float64, neighbor func(S, *rand.Rand) S) (S, float64, Stats) {
 	cfg = cfg.withDefaults()
+	span := obs.DefaultTracer().Start("anneal.run")
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	cur := initial
@@ -92,6 +145,7 @@ func Minimize[S any](cfg Config, initial S, energy func(S) float64, neighbor fun
 		temp *= cfg.Cooling
 	}
 	st.FinalTemp = temp
+	observeRun("full", minTemp/cfg.MinTemp, bestE, st, span)
 	return best, bestE, st
 }
 
@@ -167,6 +221,7 @@ type IncrementalProblem[M any] struct {
 // count against it, and the total never exceeds it.
 func MinimizeIncremental[M any](cfg Config, p IncrementalProblem[M]) (float64, Stats) {
 	cfg = cfg.withDefaults()
+	span := obs.DefaultTracer().Start("anneal.run")
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	curE := p.InitialEnergy
@@ -254,5 +309,6 @@ func MinimizeIncremental[M any](cfg Config, p IncrementalProblem[M]) (float64, S
 		temp *= cfg.Cooling
 	}
 	st.FinalTemp = temp
+	observeRun("incremental", minTemp/cfg.MinTemp, bestE, st, span)
 	return bestE, st
 }

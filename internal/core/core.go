@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cbes/internal/cluster"
 	"cbes/internal/monitor"
@@ -138,6 +139,11 @@ func NewEvaluator(topo *cluster.Topology, model *netmodel.Model, prof *profile.P
 // Predict evaluates mapping m under the resource conditions of snap and
 // returns the execution-time prediction.
 func (e *Evaluator) Predict(m Mapping, snap *monitor.Snapshot) (*Prediction, error) {
+	start := time.Now()
+	defer func() {
+		metricPredicts.Inc()
+		metricPredictSeconds.Observe(time.Since(start).Seconds())
+	}()
 	if len(m) != e.Prof.Ranks {
 		return nil, fmt.Errorf("core: mapping has %d ranks, profile has %d", len(m), e.Prof.Ranks)
 	}
@@ -215,6 +221,8 @@ func (e *Evaluator) Compare(ms []Mapping, snap *monitor.Snapshot) ([]*Prediction
 	if len(ms) == 0 {
 		return nil, -1, fmt.Errorf("core: no mappings to compare")
 	}
+	metricCompares.Inc()
+	metricCompareMappings.Add(uint64(len(ms)))
 	preds := make([]*Prediction, len(ms))
 	if workers := boundedWorkers(len(ms)); workers > 1 && len(ms) >= compareParallelThreshold {
 		errs := make([]error, len(ms))

@@ -126,6 +126,7 @@ func buildFastIndex(e *Evaluator) *fastIndex {
 		}
 		ix.commDeps[r] = deps
 	}
+	metricEvaluators.Inc()
 	return ix
 }
 
@@ -238,6 +239,7 @@ func (s *Scorer) Energy(m Mapping, snap *monitor.Snapshot) (float64, error) {
 	s.total = s.sumSegments()
 	s.depth = 0
 	s.primed = true
+	metricEnergyFull.Inc()
 	return s.total, nil
 }
 
@@ -260,6 +262,7 @@ func (s *Scorer) Apply(mv Move) float64 {
 	if !s.primed {
 		panic("core: Scorer.Apply before Energy")
 	}
+	metricEnergyDelta.Inc()
 	fr := s.pushFrame(mv)
 	if mv.Swap {
 		if mv.A == mv.B || s.m[mv.A] == s.m[mv.B] {
@@ -313,6 +316,7 @@ func (s *Scorer) Undo() {
 	if s.depth == 0 {
 		panic("core: Scorer.Undo with empty journal")
 	}
+	metricUndos.Inc()
 	s.depth--
 	fr := &s.frames[s.depth]
 	if fr.noop {
@@ -388,6 +392,7 @@ func (s *Scorer) touchList(fs []int32) {
 // belong to, and rebuilds the total as the fresh segment sum — the same
 // summation order as Predict, keeping the running energy bit-identical.
 func (s *Scorer) rescoreTouched(fr *frame) {
+	metricDeltaTouched.Add(uint64(len(s.touched)))
 	for _, f := range s.touched {
 		fr.terms = append(fr.terms, savedTerm{f: f, r: s.r[f], c: s.c[f]})
 		s.r[f] = s.computeR(f)

@@ -1,0 +1,36 @@
+// Observability for the mapping-evaluation core. Every metric here is a
+// pre-resolved atomic from internal/obs, so the instrumentation cost on
+// the fast path is one uncontended atomic add per event (~single-digit
+// ns, guarded by TestCounterCostBudget in internal/obs) against delta
+// evaluations that cost hundreds of ns to µs each.
+package core
+
+import "cbes/internal/obs"
+
+var (
+	// Full prediction path (Predict — allocation-heavy, RPC-facing).
+	metricPredicts = obs.Default().Counter(
+		"cbes_core_predict_total", "Full Predict evaluations (eq. 4 with breakdown).")
+	metricPredictSeconds = obs.Default().Histogram(
+		"cbes_core_predict_seconds", "Latency of full Predict evaluations.", nil)
+
+	// Scorer fast path (Energy/Apply/Undo — the scheduler hot loop).
+	metricEnergyFull = obs.Default().Counter(
+		"cbes_core_energy_evals_total", "Full allocation-free Scorer.Energy evaluations.")
+	metricEnergyDelta = obs.Default().Counter(
+		"cbes_core_delta_evals_total", "Incremental Scorer.Apply delta evaluations.")
+	metricUndos = obs.Default().Counter(
+		"cbes_core_undo_total", "Scorer.Undo reversions (rejected proposals).")
+	metricDeltaTouched = obs.Default().Counter(
+		"cbes_core_delta_terms_rescored_total", "Per-(segment,proc) terms rescored by Apply.")
+
+	// Batch comparison requests (the paper's mapping-comparison operation).
+	metricCompares = obs.Default().Counter(
+		"cbes_core_compare_total", "Compare batch requests.")
+	metricCompareMappings = obs.Default().Counter(
+		"cbes_core_compare_mappings_total", "Candidate mappings evaluated by Compare batches.")
+
+	// Evaluator construction (index precomputation).
+	metricEvaluators = obs.Default().Counter(
+		"cbes_core_evaluators_built_total", "Evaluator fast-path indexes built.")
+)

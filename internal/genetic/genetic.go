@@ -7,6 +7,21 @@ package genetic
 import (
 	"math/rand"
 	"sort"
+
+	"cbes/internal/obs"
+)
+
+// GA observability: run/generation/evaluation counters plus the last
+// finished run's best fitness.
+var (
+	metricRuns = obs.Default().Counter(
+		"cbes_ga_runs_total", "Completed GA runs.")
+	metricGenerations = obs.Default().Counter(
+		"cbes_ga_generations_total", "Generations evolved across all GA runs.")
+	metricEvals = obs.Default().Counter(
+		"cbes_ga_evals_total", "Fitness evaluations across all GA runs.")
+	gaugeBestFitness = obs.Default().Gauge(
+		"cbes_ga_best_fitness", "Best fitness of the last finished GA run.")
 )
 
 // Config tunes the GA.
@@ -113,6 +128,10 @@ func Minimize[G any](cfg Config, ops Ops[G]) (G, float64, Stats) {
 		sortPop(pop)
 		st.Generations++
 	}
+	metricRuns.Inc()
+	metricGenerations.Add(uint64(st.Generations))
+	metricEvals.Add(uint64(st.Evaluations))
+	gaugeBestFitness.Set(pop[0].f)
 	return pop[0].g, pop[0].f, st
 }
 

@@ -4,8 +4,24 @@ import (
 	"math/rand"
 
 	"cbes/internal/des"
+	"cbes/internal/obs"
 	"cbes/internal/simnet"
 	"cbes/internal/vcluster"
+)
+
+// Monitoring observability. Ages are in simulated seconds — the clock
+// the sensors themselves run on; a growing snapshot age means the
+// scheduler is deciding on stale forecasts.
+var (
+	metricSamples = obs.Default().Counter(
+		"cbes_monitor_samples_total", "Completed cluster-wide sensor sampling rounds.")
+	metricRefreshes = obs.Default().Counter(
+		"cbes_monitor_forecast_refreshes_total", "Per-node forecaster updates (CPU + NIC).")
+	metricSnapshots = obs.Default().Counter(
+		"cbes_monitor_snapshots_total", "Resource-availability snapshots assembled.")
+	gaugeSnapshotAge = obs.Default().Gauge(
+		"cbes_monitor_snapshot_age_seconds",
+		"Simulated age of the sensor data behind the most recent snapshot.")
 )
 
 // Snapshot is an on-demand picture of cluster resource availability — the
@@ -88,6 +104,9 @@ type SystemMonitor struct {
 	edge     []int
 	daemon   *des.Proc
 	samples  uint64
+	// lastSample is the simulated time of the most recent sampling round;
+	// Snapshot reports the forecast age relative to it.
+	lastSample des.Time
 }
 
 // NewSystemMonitor attaches sensors to every node of the virtual cluster
@@ -157,6 +176,9 @@ func (m *SystemMonitor) sample(rng *rand.Rand) {
 		m.nicF[i].Update(du)
 	}
 	m.samples++
+	m.lastSample = m.vc.Eng.Now()
+	metricSamples.Inc()
+	metricRefreshes.Add(uint64(2 * len(m.cpuF)))
 }
 
 // Samples reports how many sampling rounds have completed.
@@ -177,5 +199,7 @@ func (m *SystemMonitor) Snapshot() *Snapshot {
 		s.AvailCPU[i] = m.cpuF[i].Forecast()
 		s.NICUtil[i] = m.nicF[i].Forecast()
 	}
+	metricSnapshots.Inc()
+	gaugeSnapshotAge.Set((s.At - m.lastSample).Seconds())
 	return s
 }

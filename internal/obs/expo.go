@@ -1,0 +1,202 @@
+// Metric exposition: Prometheus text format (for /metrics and scraping
+// tools), an expvar-compatible JSON snapshot (for /debug/vars and the
+// Metrics RPC), and the debug HTTP mux cbesd mounts.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, one line per child, and for
+// histograms the cumulative `_bucket{le=...}` series plus `_sum` and
+// `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.sortedChildren() {
+			base := labelString(f.labels, c.labelValues, "")
+			switch f.kind {
+			case KindCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, base, c.counter.Value())
+			case KindGauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, base, formatFloat(c.gauge.Value()))
+			case KindHistogram:
+				cum := uint64(0)
+				for i, b := range c.hist.bounds {
+					cum += c.hist.counts[i].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, c.labelValues, formatFloat(b)), cum)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, c.labelValues, "+Inf"), c.hist.Count())
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, base, formatFloat(c.hist.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, base, c.hist.Count())
+			}
+		}
+	}
+}
+
+// labelString renders {k="v",...}; le, when non-empty, is appended as the
+// histogram bucket bound label. Returns "" for no labels at all.
+func labelString(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trippable form, +Inf/-Inf/NaN spelled out).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot returns the registry as a plain JSON-marshalable tree:
+// metric name → value (counter/gauge) or → {count, sum, buckets} for
+// histograms; labeled families map label-set → value. This is the
+// payload of /debug/vars and the Metrics RPC's JSON format.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, f := range r.sortedFamilies() {
+		children := f.sortedChildren()
+		render := func(c *child) any {
+			switch f.kind {
+			case KindCounter:
+				return c.counter.Value()
+			case KindGauge:
+				return c.gauge.Value()
+			default:
+				buckets := map[string]uint64{}
+				cum := uint64(0)
+				for i, b := range c.hist.bounds {
+					cum += c.hist.counts[i].Load()
+					buckets[formatFloat(b)] = cum
+				}
+				buckets["+Inf"] = c.hist.Count()
+				return map[string]any{
+					"count":   c.hist.Count(),
+					"sum":     c.hist.Sum(),
+					"buckets": buckets,
+				}
+			}
+		}
+		if len(f.labels) == 0 {
+			if len(children) > 0 {
+				out[f.name] = render(children[0])
+			}
+			continue
+		}
+		m := map[string]any{}
+		for _, c := range children {
+			key := strings.Join(c.labelValues, ",")
+			m[key] = render(c)
+		}
+		out[f.name] = m
+	}
+	return out
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar publishes the registry under the expvar name "cbes", so
+// the standard /debug/vars handler (and anything else walking expvar)
+// sees the full metric tree next to memstats and cmdline. Idempotent —
+// expvar panics on duplicate names, so only the first call publishes.
+func PublishExpvar(r *Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("cbes", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Handler serves the registry in Prometheus text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// DebugMux builds the debug-endpoint mux cbesd serves on -debug-listen:
+//
+//	/metrics     — Prometheus text exposition of reg
+//	/debug/vars  — expvar JSON (reg published as "cbes")
+//	/debug/spans — recent spans of tr as a JSON array
+//	/healthz     — liveness probe; healthy() == nil ⇒ 200 "ok"
+//	/debug/pprof — the standard runtime profiles
+//
+// healthy and tr may be nil (always-healthy, no span endpoint).
+func DebugMux(reg *Registry, tr *Tracer, healthy func() error) *http.ServeMux {
+	PublishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if tr != nil {
+		mux.Handle("/debug/spans", SpanHandler(tr))
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,167 @@
+// Span tracing: timed, attributed events recorded to a fixed-size
+// in-memory ring buffer (always on, overwrite-oldest) and optionally
+// streamed to a JSONL sink. Spans are coarse-grained by design — one per
+// RPC, per annealing restart, per scheduling decision — never one per
+// energy evaluation, so the tracer stays off the fast path entirely.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string `json:"k"`
+	Val any    `json:"v"`
+}
+
+// Span is one completed timed event.
+type Span struct {
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	Seconds float64   `json:"seconds"`
+	Attrs   []Attr    `json:"attrs,omitempty"`
+}
+
+// Tracer records spans. The zero value is unusable; build one with
+// NewTracer. A nil Tracer is a disabled no-op (Start returns a nil
+// ActiveSpan whose methods are also no-ops).
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Span
+	next int
+	n    int
+	sink io.Writer
+	drop uint64 // sink write failures, for diagnostics
+}
+
+// DefaultRingSize is the span capacity of the default tracer.
+const DefaultRingSize = 1024
+
+// NewTracer returns a tracer holding the most recent size spans.
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Tracer{ring: make([]Span, size)}
+}
+
+var defaultTracer = NewTracer(DefaultRingSize)
+
+// DefaultTracer returns the process-wide tracer the CBES packages record
+// into.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// SetSink attaches (or with nil, detaches) a JSONL sink: every finished
+// span is appended to w as one JSON object per line. The tracer
+// serializes writes; w need not be concurrency-safe.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = w
+	t.mu.Unlock()
+}
+
+// ActiveSpan is an in-progress span; call End to record it.
+type ActiveSpan struct {
+	t     *Tracer
+	span  Span
+	start time.Time
+}
+
+// Start opens a span. Safe on a nil tracer.
+func (t *Tracer) Start(name string) *ActiveSpan {
+	return t.StartAt(name, time.Now())
+}
+
+// StartAt opens a span that began at an earlier wall-clock time — for
+// call sites that only learn a span is worth recording after the fact.
+// Safe on a nil tracer.
+func (t *Tracer) StartAt(name string, start time.Time) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, start: start, span: Span{Name: name, Start: start}}
+}
+
+// Attr annotates the span; returns the span for chaining.
+func (s *ActiveSpan) Attr(key string, val any) *ActiveSpan {
+	if s != nil {
+		s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Val: val})
+	}
+	return s
+}
+
+// End finishes the span and records it.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.Seconds = time.Since(s.start).Seconds()
+	s.t.record(s.span)
+}
+
+func (t *Tracer) record(sp Span) {
+	t.mu.Lock()
+	t.ring[t.next] = sp
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	sink := t.sink
+	if sink != nil {
+		line, err := json.Marshal(sp)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = sink.Write(line)
+		}
+		if err != nil {
+			t.drop++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the recorded spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	if t.n == len(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring[:t.n]...)
+	}
+	return out
+}
+
+// SinkDrops reports how many spans failed to reach the JSONL sink.
+func (t *Tracer) SinkDrops() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drop
+}
+
+// SpanHandler serves the tracer's ring buffer as a JSON array (newest
+// last) — the /debug/spans endpoint.
+func SpanHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(t.Spans()) //nolint:errcheck // best-effort debug endpoint
+	})
+}

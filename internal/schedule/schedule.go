@@ -33,7 +33,46 @@ import (
 	"cbes/internal/core"
 	"cbes/internal/genetic"
 	"cbes/internal/monitor"
+	"cbes/internal/obs"
 )
+
+// Scheduler observability, split by algorithm name ("cs", "ncs", "rs",
+// "ga", "exhaustive" — fixed cardinality). Children are resolved lazily
+// per decision, which is far off the hot loop (the hot loop is the
+// energy evaluation, instrumented in core).
+var (
+	metricRequests = obs.Default().CounterVec(
+		"cbes_schedule_requests_total", "Scheduling decisions requested.", "alg")
+	metricErrors = obs.Default().CounterVec(
+		"cbes_schedule_errors_total", "Scheduling requests that returned an error.", "alg")
+	metricEvals = obs.Default().CounterVec(
+		"cbes_schedule_evals_total", "Cost-function evaluations spent by finished decisions.", "alg")
+	metricSeconds = obs.Default().HistogramVec(
+		"cbes_schedule_seconds", "Wall time of scheduling decisions.", nil, "alg")
+	metricConstraintFailures = obs.Default().Counter(
+		"cbes_schedule_constraint_failures_total",
+		"Searches that found no constraint-satisfying mapping within their effort.")
+)
+
+// observe records one finished scheduling decision (deferred by every
+// scheduler entry point; start is captured when the defer is declared).
+func observe(alg string, start time.Time, d **Decision, err *error) {
+	secs := time.Since(start).Seconds()
+	metricRequests.With(alg).Inc()
+	metricSeconds.With(alg).Observe(secs)
+	span := obs.DefaultTracer().StartAt("schedule.decision", start).Attr("alg", alg)
+	if *err != nil {
+		metricErrors.With(alg).Inc()
+		span.Attr("error", (*err).Error()).End()
+		return
+	}
+	dec := *d
+	metricEvals.With(alg).Add(uint64(dec.Evaluations))
+	span.Attr("evals", dec.Evaluations).
+		Attr("predicted_seconds", dec.Predicted).
+		Attr("scheduler_seconds", secs).
+		End()
+}
 
 // Request describes one scheduling problem.
 type Request struct {
@@ -214,7 +253,8 @@ func predictFull(req *Request, m core.Mapping) float64 {
 }
 
 // Random is the RS scheduler: an arbitrary valid mapping, no evaluation.
-func Random(req *Request) (*Decision, error) {
+func Random(req *Request) (d *Decision, err error) {
+	defer observe("rs", time.Now(), &d, &err)
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
@@ -223,11 +263,12 @@ func Random(req *Request) (*Decision, error) {
 	m := randomMapping(req, rng)
 	for attempts := 0; req.Constraint != nil && !req.Constraint(m); attempts++ {
 		if attempts > 10000 {
+			metricConstraintFailures.Inc()
 			return nil, fmt.Errorf("schedule: constraint unsatisfiable by random sampling")
 		}
 		m = randomMapping(req, rng)
 	}
-	d := &Decision{
+	d = &Decision{
 		Mapping:       m,
 		Predicted:     predictFull(req, m),
 		Score:         math.NaN(),
@@ -339,6 +380,7 @@ func saSchedule(req *Request) (core.Mapping, float64, int, error) {
 		// No restart found a satisfying mapping: bestE still carries the
 		// constraint penalty and is not an execution-time prediction —
 		// surface that as an error instead of a nonsense Decision.
+		metricConstraintFailures.Inc()
 		return nil, 0, 0, fmt.Errorf("schedule: no constraint-satisfying mapping found within effort %d", effort)
 	}
 	return best, sign * bestE, evals, nil
@@ -347,7 +389,8 @@ func saSchedule(req *Request) (core.Mapping, float64, int, error) {
 // SimulatedAnnealing is the CS scheduler: SA with the full CBES
 // mapping-evaluation operation as energy function, served by the
 // incremental fast path (Scorer delta-evaluation per proposed move).
-func SimulatedAnnealing(req *Request) (*Decision, error) {
+func SimulatedAnnealing(req *Request) (d *Decision, err error) {
+	defer observe("cs", time.Now(), &d, &err)
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
@@ -370,7 +413,8 @@ func SimulatedAnnealing(req *Request) (*Decision, error) {
 // prediction. The returned Decision's Predicted field is nevertheless
 // computed with the full evaluation, mirroring the paper's normalization
 // of NCS results.
-func SimulatedAnnealingNoComm(req *Request) (*Decision, error) {
+func SimulatedAnnealingNoComm(req *Request) (d *Decision, err error) {
+	defer observe("ncs", time.Now(), &d, &err)
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
@@ -393,7 +437,8 @@ func SimulatedAnnealingNoComm(req *Request) (*Decision, error) {
 // Genetic is the GA scheduler (future-work algorithm): evolves mappings
 // with uniform crossover repaired to respect slot capacities. Fitness runs
 // on the allocation-free full evaluation of the fast path.
-func Genetic(req *Request) (*Decision, error) {
+func Genetic(req *Request) (d *Decision, err error) {
+	defer observe("ga", time.Now(), &d, &err)
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
@@ -452,6 +497,7 @@ func Genetic(req *Request) (*Decision, error) {
 		},
 	})
 	if req.Constraint != nil && !req.Constraint(best) {
+		metricConstraintFailures.Inc()
 		return nil, fmt.Errorf("schedule: no constraint-satisfying mapping found within effort %d", req.effort())
 	}
 	return &Decision{
@@ -469,7 +515,8 @@ func Genetic(req *Request) (*Decision, error) {
 // on the incremental fast path: entering a recursion level applies a
 // single-rank move to the scorer and leaving it undoes the move, so each
 // enumerated mapping costs one delta evaluation instead of a full one.
-func Exhaustive(req *Request) (*Decision, error) {
+func Exhaustive(req *Request) (d *Decision, err error) {
+	defer observe("exhaustive", time.Now(), &d, &err)
 	if err := req.validate(); err != nil {
 		return nil, err
 	}

@@ -6,6 +6,9 @@
 package service
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -15,7 +18,44 @@ import (
 	"cbes"
 	"cbes/internal/core"
 	"cbes/internal/des"
+	"cbes/internal/obs"
 )
+
+// RPC observability: every exported method runs through intercept, which
+// maintains per-method request/error counters and latency histograms
+// plus a cluster-wide in-flight gauge. Method names are a fixed set, so
+// label cardinality is bounded.
+var (
+	rpcRequests = obs.Default().CounterVec(
+		"cbes_rpc_requests_total", "RPC requests served, by method.", "method")
+	rpcErrors = obs.Default().CounterVec(
+		"cbes_rpc_errors_total", "RPC requests that returned an error, by method.", "method")
+	rpcSeconds = obs.Default().HistogramVec(
+		"cbes_rpc_seconds", "RPC handler latency, by method.", nil, "method")
+	rpcInflight = obs.Default().Gauge(
+		"cbes_rpc_inflight", "RPC requests currently being handled (or waiting on the engine lock).")
+	rpcConnections = obs.Default().Counter(
+		"cbes_rpc_connections_total", "Client connections accepted.")
+)
+
+// intercept wraps one RPC method body with instrumentation and the
+// engine serialization lock (the simulation engine is single-threaded by
+// design, so every handler runs under s.mu). The in-flight gauge counts
+// requests from arrival, i.e. including time spent queued on the lock.
+func (s *Server) intercept(method string, fn func() error) error {
+	rpcInflight.Add(1)
+	defer rpcInflight.Add(-1)
+	start := time.Now()
+	s.mu.Lock()
+	err := fn()
+	s.mu.Unlock()
+	rpcRequests.With(method).Inc()
+	rpcSeconds.With(method).Observe(time.Since(start).Seconds())
+	if err != nil {
+		rpcErrors.With(method).Inc()
+	}
+	return err
+}
 
 // RPCName is the registered net/rpc service name.
 const RPCName = "CBES"
@@ -66,10 +106,31 @@ type ScheduleArgs struct {
 
 // ScheduleReply carries the chosen mapping.
 type ScheduleReply struct {
-	Mapping         []int
-	Predicted       float64
-	Evaluations     int
+	Mapping     []int
+	Predicted   float64
+	Evaluations int
+	// SchedulerMillis is the search wall time in milliseconds. Kept for
+	// compatibility with older clients, but it truncates fast-path runs
+	// (often sub-millisecond) to 0 — prefer SchedulerMicros.
 	SchedulerMillis int64
+	// SchedulerMicros is the search wall time in microseconds.
+	SchedulerMicros int64
+}
+
+// Metrics formats accepted by the Metrics RPC.
+const (
+	FormatPrometheus = "prom" // Prometheus text exposition (the default)
+	FormatJSON       = "json" // expvar-style JSON snapshot
+)
+
+// MetricsArgs selects the exposition format.
+type MetricsArgs struct {
+	Format string // FormatPrometheus (default) or FormatJSON
+}
+
+// MetricsReply carries the rendered metrics.
+type MetricsReply struct {
+	Text string
 }
 
 // StatusArgs requests service status.
@@ -95,8 +156,10 @@ type AdvanceReply struct {
 	SimSeconds float64
 }
 
-// Server serves CBES requests for one System. All requests are serialized:
-// the simulation engine is single-threaded by design.
+// Server serves CBES requests for one System. All requests are serialized
+// through intercept — the simulation engine is single-threaded by design —
+// except Metrics, which only reads atomics and must not block behind a
+// long-running Schedule.
 type Server struct {
 	mu  sync.Mutex
 	sys *cbes.System
@@ -107,101 +170,135 @@ func NewServer(sys *cbes.System) *Server { return &Server{sys: sys} }
 
 // Evaluate predicts the execution time of one mapping.
 func (s *Server) Evaluate(args *EvaluateArgs, reply *EvaluateReply) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pred, err := s.sys.Predict(args.App, core.Mapping(args.Mapping))
-	if err != nil {
-		return err
-	}
-	reply.Seconds = pred.Seconds
-	if len(pred.Segments) > 0 {
-		reply.Critical = pred.Segments[0].Critical
-	}
-	return nil
+	return s.intercept("Evaluate", func() error {
+		pred, err := s.sys.Predict(args.App, core.Mapping(args.Mapping))
+		if err != nil {
+			return err
+		}
+		reply.Seconds = pred.Seconds
+		if len(pred.Segments) > 0 {
+			reply.Critical = pred.Segments[0].Critical
+		}
+		return nil
+	})
 }
 
 // Explain predicts one mapping and returns the per-process breakdown.
 func (s *Server) Explain(args *ExplainArgs, reply *ExplainReply) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pred, err := s.sys.Predict(args.App, core.Mapping(args.Mapping))
-	if err != nil {
-		return err
-	}
-	reply.Seconds = pred.Seconds
-	reply.Text = pred.Explain(s.sys.Topo)
-	return nil
+	return s.intercept("Explain", func() error {
+		pred, err := s.sys.Predict(args.App, core.Mapping(args.Mapping))
+		if err != nil {
+			return err
+		}
+		reply.Seconds = pred.Seconds
+		reply.Text = pred.Explain(s.sys.Topo)
+		return nil
+	})
 }
 
 // Compare predicts several mappings and selects the fastest.
 func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(args.Mappings) == 0 {
-		return fmt.Errorf("service: no mappings")
-	}
-	eval, err := s.sys.Evaluator(args.App)
-	if err != nil {
-		return err
-	}
-	ms := make([]core.Mapping, len(args.Mappings))
-	for i, m := range args.Mappings {
-		ms[i] = core.Mapping(m)
-	}
-	preds, best, err := eval.Compare(ms, s.sys.Snapshot())
-	if err != nil {
-		return err
-	}
-	reply.Seconds = make([]float64, len(preds))
-	for i, p := range preds {
-		reply.Seconds[i] = p.Seconds
-	}
-	reply.Best = best
-	return nil
+	return s.intercept("Compare", func() error {
+		if len(args.Mappings) == 0 {
+			return fmt.Errorf("service: no mappings")
+		}
+		eval, err := s.sys.Evaluator(args.App)
+		if err != nil {
+			return err
+		}
+		ms := make([]core.Mapping, len(args.Mappings))
+		for i, m := range args.Mappings {
+			ms[i] = core.Mapping(m)
+		}
+		preds, best, err := eval.Compare(ms, s.sys.Snapshot())
+		if err != nil {
+			return err
+		}
+		reply.Seconds = make([]float64, len(preds))
+		for i, p := range preds {
+			reply.Seconds[i] = p.Seconds
+		}
+		reply.Best = best
+		return nil
+	})
 }
 
 // Schedule finds a mapping with the requested algorithm.
 func (s *Server) Schedule(args *ScheduleArgs, reply *ScheduleReply) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	dec, err := s.sys.Schedule(args.App, cbes.Algorithm(args.Algorithm), args.Pool, args.Seed)
-	if err != nil {
-		return err
-	}
-	reply.Mapping = []int(dec.Mapping)
-	reply.Predicted = dec.Predicted
-	reply.Evaluations = dec.Evaluations
-	reply.SchedulerMillis = dec.SchedulerTime.Milliseconds()
-	return nil
+	return s.intercept("Schedule", func() error {
+		dec, err := s.sys.Schedule(args.App, cbes.Algorithm(args.Algorithm), args.Pool, args.Seed)
+		if err != nil {
+			return err
+		}
+		reply.Mapping = []int(dec.Mapping)
+		reply.Predicted = dec.Predicted
+		reply.Evaluations = dec.Evaluations
+		reply.SchedulerMillis = dec.SchedulerTime.Milliseconds()
+		reply.SchedulerMicros = dec.SchedulerTime.Microseconds()
+		return nil
+	})
 }
 
 // Status reports the service and cluster state.
 func (s *Server) Status(_ *StatusArgs, reply *StatusReply) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	snap := s.sys.Snapshot()
-	reply.Cluster = s.sys.Topo.Name
-	reply.Nodes = s.sys.Topo.NumNodes()
-	reply.Apps = s.sys.Apps()
-	reply.SimSeconds = s.sys.Eng.Now().Seconds()
-	reply.AvailCPU = snap.AvailCPU
-	reply.NICUtil = snap.NICUtil
-	return nil
+	return s.intercept("Status", func() error {
+		snap := s.sys.Snapshot()
+		reply.Cluster = s.sys.Topo.Name
+		reply.Nodes = s.sys.Topo.NumNodes()
+		reply.Apps = s.sys.Apps()
+		reply.SimSeconds = s.sys.Eng.Now().Seconds()
+		reply.AvailCPU = snap.AvailCPU
+		reply.NICUtil = snap.NICUtil
+		return nil
+	})
 }
 
 // Advance moves simulated time forward so monitors resample.
 func (s *Server) Advance(args *AdvanceArgs, reply *AdvanceReply) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if args.Seconds < 0 {
-		return fmt.Errorf("service: negative advance")
+	return s.intercept("Advance", func() error {
+		if args.Seconds < 0 {
+			return fmt.Errorf("service: negative advance")
+		}
+		s.sys.Advance(des.FromSeconds(args.Seconds))
+		reply.SimSeconds = s.sys.Eng.Now().Seconds()
+		return nil
+	})
+}
+
+// Metrics renders the process metrics registry. Unlike every other
+// method it does not take the engine lock: the registry is atomic, and a
+// scrape must not queue behind a long-running Schedule.
+func (s *Server) Metrics(args *MetricsArgs, reply *MetricsReply) error {
+	rpcInflight.Add(1)
+	defer rpcInflight.Add(-1)
+	start := time.Now()
+	defer func() {
+		rpcRequests.With("Metrics").Inc()
+		rpcSeconds.With("Metrics").Observe(time.Since(start).Seconds())
+	}()
+	switch args.Format {
+	case "", FormatPrometheus:
+		var buf bytes.Buffer
+		obs.Default().WritePrometheus(&buf)
+		reply.Text = buf.String()
+	case FormatJSON:
+		raw, err := json.MarshalIndent(obs.Default().Snapshot(), "", "  ")
+		if err != nil {
+			rpcErrors.With("Metrics").Inc()
+			return err
+		}
+		reply.Text = string(raw)
+	default:
+		rpcErrors.With("Metrics").Inc()
+		return fmt.Errorf("service: unknown metrics format %q (want %q or %q)",
+			args.Format, FormatPrometheus, FormatJSON)
 	}
-	s.sys.Advance(des.FromSeconds(args.Seconds))
-	reply.SimSeconds = s.sys.Eng.Now().Seconds()
 	return nil
 }
 
 // Serve accepts connections on l until the listener closes. It blocks.
+// A deliberate close of the listener (the daemon's shutdown path) is a
+// clean exit and returns nil; any other accept failure is returned.
 func Serve(sys *cbes.System, l net.Listener) error {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(RPCName, NewServer(sys)); err != nil {
@@ -210,8 +307,12 @@ func Serve(sys *cbes.System, l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
 			return err
 		}
+		rpcConnections.Inc()
 		go srv.ServeConn(conn)
 	}
 }
@@ -272,5 +373,13 @@ func (c *Client) Status() (*StatusReply, error) {
 func (c *Client) Advance(seconds float64) (*AdvanceReply, error) {
 	var reply AdvanceReply
 	err := c.rc.Call(RPCName+".Advance", &AdvanceArgs{Seconds: seconds}, &reply)
+	return &reply, err
+}
+
+// Metrics fetches the server's metrics in the given format ("" or
+// FormatPrometheus for text exposition, FormatJSON for JSON).
+func (c *Client) Metrics(format string) (*MetricsReply, error) {
+	var reply MetricsReply
+	err := c.rc.Call(RPCName+".Metrics", &MetricsArgs{Format: format}, &reply)
 	return &reply, err
 }

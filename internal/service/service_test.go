@@ -1,10 +1,13 @@
 package service
 
 import (
+	"encoding/json"
 	"math"
 	"net"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"cbes"
 	"cbes/internal/bench"
@@ -129,8 +132,157 @@ func TestScheduleOverRPC(t *testing.T) {
 	if reply.Evaluations == 0 {
 		t.Fatal("no evaluations reported")
 	}
+	// The fast path routinely finishes in under a millisecond, which the
+	// legacy millisecond field truncates to 0; the microsecond field must
+	// carry the real (non-zero) duration and agree with it.
+	if reply.SchedulerMicros <= 0 {
+		t.Fatalf("SchedulerMicros = %d, want > 0", reply.SchedulerMicros)
+	}
+	if got, want := reply.SchedulerMicros/1000, reply.SchedulerMillis; got != want {
+		t.Fatalf("micros %d inconsistent with millis %d", reply.SchedulerMicros, want)
+	}
 	if _, err := c.Schedule(prog.Name, "quantum", pool, 3); err == nil {
 		t.Fatal("unknown algorithm should error")
+	}
+}
+
+// TestErrorPaths exercises the error returns of every method over a real
+// RPC round-trip: unknown applications, empty batches, bad arguments.
+func TestErrorPaths(t *testing.T) {
+	c, prog, sys := startServer(t)
+	pool := sys.Pool(cluster.ArchAlpha)
+	if _, err := c.Schedule("ghost", "cs", pool, 1); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("schedule of unknown app: err = %v", err)
+	}
+	if _, err := c.Compare("ghost", [][]int{{0, 1, 2, 3}}); err == nil {
+		t.Fatal("compare of unknown app should error")
+	}
+	if _, err := c.Compare(prog.Name, nil); err == nil || !strings.Contains(err.Error(), "no mappings") {
+		t.Fatalf("empty compare: err = %v", err)
+	}
+	if _, err := c.Explain("ghost", []int{0, 1, 2, 3}); err == nil {
+		t.Fatal("explain of unknown app should error")
+	}
+	if _, err := c.Advance(-0.5); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative advance: err = %v", err)
+	}
+	if _, err := c.Evaluate(prog.Name, []int{0, 1}); err == nil {
+		t.Fatal("wrong-arity mapping should error")
+	}
+	if _, err := c.Metrics("xml"); err == nil || !strings.Contains(err.Error(), "unknown metrics format") {
+		t.Fatalf("bad metrics format: err = %v", err)
+	}
+}
+
+// TestMetricsOverRPC drives traffic through the service and then checks
+// the Metrics RPC reports it in both exposition formats.
+func TestMetricsOverRPC(t *testing.T) {
+	c, prog, sys := startServer(t)
+	if _, err := c.Evaluate(prog.Name, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Schedule(prog.Name, "cs", sys.Pool(cluster.ArchAlpha, cluster.ArchIntel), 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Metrics("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`cbes_rpc_requests_total{method="Evaluate"}`,
+		`cbes_rpc_seconds_bucket{method="Schedule",le="+Inf"}`,
+		"cbes_core_energy_evals_total",
+		"cbes_core_delta_evals_total",
+		"cbes_sa_acceptance_rate",
+		"cbes_monitor_snapshot_age_seconds",
+		"cbes_schedule_requests_total",
+	} {
+		if !strings.Contains(r.Text, want) {
+			t.Fatalf("prometheus exposition missing %q", want)
+		}
+	}
+	j, err := c.Metrics("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree map[string]any
+	if err := json.Unmarshal([]byte(j.Text), &tree); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	rpcByMethod, ok := tree["cbes_rpc_requests_total"].(map[string]any)
+	if !ok || rpcByMethod["Evaluate"].(float64) < 1 {
+		t.Fatalf("JSON metrics missing per-method RPC counts: %v", tree["cbes_rpc_requests_total"])
+	}
+	if tree["cbes_core_delta_evals_total"].(float64) == 0 {
+		t.Fatal("delta evaluations not counted")
+	}
+}
+
+// TestConcurrentMetricsScrape hammers Metrics from several goroutines
+// while scheduling runs — the -race guard for the scrape path.
+func TestConcurrentMetricsScrape(t *testing.T) {
+	c, prog, sys := startServer(t)
+	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel)
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			_, err := c.Schedule(prog.Name, "cs", pool, seed)
+			errs <- err
+		}(int64(i))
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			format := ""
+			if i%2 == 1 {
+				format = "json"
+			}
+			r, err := c.Metrics(format)
+			if err == nil && r.Text == "" {
+				err = errEmptyScrape
+			}
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errEmptyScrape = errEmpty{}
+
+type errEmpty struct{}
+
+func (errEmpty) Error() string { return "empty metrics scrape" }
+
+// TestServeCleanClose asserts the shutdown-path contract: closing the
+// listener makes Serve return nil, not the accept error.
+func TestServeCleanClose(t *testing.T) {
+	sys := cbes.NewSystem(cluster.NewTestTopology(), cbes.Config{})
+	t.Cleanup(sys.Close)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- Serve(sys, l) }()
+	time.Sleep(10 * time.Millisecond) // let Serve reach Accept
+	l.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on deliberate close, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after listener close")
 	}
 }
 

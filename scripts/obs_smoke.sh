@@ -1,0 +1,137 @@
+#!/bin/sh
+# obs_smoke.sh — end-to-end observability smoke test.
+#
+# Boots cbesd with the debug HTTP endpoint on a loopback port, drives a
+# real scheduling request through cbesctl, then asserts that /healthz is
+# healthy and /metrics exposes the core series with non-zero values:
+# per-method RPC latency histograms, scorer energy-evaluation counters,
+# SA acceptance-rate gauges, and the monitor snapshot-age gauge.
+#
+# Uses only the small `test` topology so the whole run takes seconds.
+set -eu
+
+PORT=${CBES_SMOKE_PORT:-7411}
+DEBUG_PORT=${CBES_SMOKE_DEBUG_PORT:-7412}
+WORK=$(mktemp -d)
+BIN="$WORK/bin"
+DB="$WORK/db"
+LOG="$WORK/cbesd.log"
+METRICS="$WORK/metrics.txt"
+
+cleanup() {
+    [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "${DAEMON_PID:-}" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "obs-smoke: FAIL: $*" >&2
+    echo "--- cbesd log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+# fetch URL OUTFILE — curl if present, else a tiny Go HTTP client.
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS -o "$2" "$1"
+    else
+        "$BIN/httpget" "$1" > "$2"
+    fi
+}
+
+echo "obs-smoke: building binaries..."
+mkdir -p "$BIN"
+go build -o "$BIN/cbesd" ./cmd/cbesd
+go build -o "$BIN/cbesctl" ./cmd/cbesctl
+if ! command -v curl >/dev/null 2>&1; then
+    cat > "$WORK/httpget.go" <<'EOF'
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+)
+
+func main() {
+	resp, err := http.Get(os.Args[1])
+	if err != nil {
+		os.Stderr.WriteString(err.Error() + "\n")
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body)
+	if resp.StatusCode != 200 {
+		os.Exit(1)
+	}
+}
+EOF
+    go build -o "$BIN/httpget" "$WORK/httpget.go"
+fi
+
+echo "obs-smoke: booting cbesd (test topology) on :$PORT, debug on :$DEBUG_PORT..."
+"$BIN/cbesd" -cluster test -db "$DB" -apps lu.A.8 \
+    -listen "127.0.0.1:$PORT" -debug-listen "127.0.0.1:$DEBUG_PORT" \
+    > "$LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for /healthz (boot includes calibration + profiling).
+i=0
+until fetch "http://127.0.0.1:$DEBUG_PORT/healthz" "$WORK/healthz.txt" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -ge 120 ] && fail "daemon did not become healthy within 60s"
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon exited during boot"
+    sleep 0.5
+done
+grep -q ok "$WORK/healthz.txt" || fail "/healthz did not report ok"
+echo "obs-smoke: daemon healthy"
+
+# Advance simulated time past one sampling interval so the snapshot-age
+# gauge has something non-trivial to report, then run a real scheduling
+# request so scorer/SA/RPC series accumulate.
+"$BIN/cbesctl" -addr "127.0.0.1:$PORT" advance -seconds 1.5 >> "$LOG" 2>&1 \
+    || fail "advance request failed"
+"$BIN/cbesctl" -addr "127.0.0.1:$PORT" schedule -app lu.A.8 -alg cs -pool 0-7 \
+    >> "$LOG" 2>&1 || fail "schedule request failed"
+echo "obs-smoke: scheduling request served"
+
+fetch "http://127.0.0.1:$DEBUG_PORT/metrics" "$METRICS" || fail "/metrics scrape failed"
+
+# require_nonzero SERIES_REGEX LABEL — assert a sample matching the regex
+# exists with a value other than 0.
+require_nonzero() {
+    awk -v pat="$1" '
+        $0 ~ "^" pat { found = 1; if ($NF + 0 != 0) nz = 1 }
+        END { exit !(found && nz) }
+    ' "$METRICS" || fail "series $2 missing or zero in /metrics"
+    echo "obs-smoke: ok: $2"
+}
+
+require_nonzero 'cbes_rpc_requests_total\{method="Schedule"\}' "RPC request counter"
+require_nonzero 'cbes_rpc_seconds_bucket\{le="\+Inf",method="Schedule"\}|cbes_rpc_seconds_bucket\{method="Schedule",le="\+Inf"\}' "RPC latency histogram"
+require_nonzero 'cbes_core_energy_evals_total' "scorer full-energy counter"
+require_nonzero 'cbes_core_delta_evals_total' "scorer delta-evaluation counter"
+require_nonzero 'cbes_sa_acceptance_rate' "SA acceptance-rate gauge"
+require_nonzero 'cbes_monitor_snapshot_age_seconds' "monitor snapshot-age gauge"
+require_nonzero 'cbes_schedule_requests_total\{alg="cs"\}' "scheduler request counter"
+
+# The RPC surface must match over cbesctl metrics as well.
+"$BIN/cbesctl" -addr "127.0.0.1:$PORT" metrics -format json > "$WORK/metrics.json" \
+    || fail "cbesctl metrics failed"
+grep -q cbes_rpc_requests_total "$WORK/metrics.json" || fail "cbesctl metrics missing RPC counters"
+echo "obs-smoke: ok: cbesctl metrics (json)"
+
+# Clean shutdown path: SIGTERM must terminate the daemon promptly.
+kill -TERM "$DAEMON_PID"
+i=0
+while kill -0 "$DAEMON_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -ge 20 ] && fail "daemon ignored SIGTERM"
+    sleep 0.5
+done
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+echo "obs-smoke: ok: clean SIGTERM shutdown"
+echo "obs-smoke: PASS"
