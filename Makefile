@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify ci bench obs-smoke fuzz
+.PHONY: build test verify ci bench bench-quick bench-compare obs-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,14 @@ test:
 verify: build test
 
 # CI target: vet plus the full suite under the race detector — the fast
-# path shares evaluators across scheduler workers, so racy regressions
-# must fail loudly.
+# path shares evaluators across scheduler workers and the experiment lab
+# fans trials across cores, so racy regressions must fail loudly. The
+# one-iteration bench pass exercises the benchmark bodies (also under
+# -race) without paying for steady-state timing.
 ci:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 45m ./...
+	$(MAKE) bench-quick
 
 # Run the benchmark suite and archive it as machine-readable JSON
 # (name -> ns/op, allocs/op, evals/s) for cross-commit comparison. The
@@ -25,6 +28,20 @@ ci:
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./... > BENCH_cbes.txt
 	$(GO) run ./cmd/benchjson -o BENCH_cbes.json < BENCH_cbes.txt
+
+# Smoke-run the benchmark bodies once under the race detector. This is a
+# correctness gate (pooled events + parallel trials must be race-clean on
+# the bench paths too), not a timing run; -short drops the multi-second
+# experiment-suite benches, which the race suite already covers.
+bench-quick:
+	$(GO) test -short -run xxx -bench . -benchtime 1x -race -timeout 30m ./...
+
+# Re-run the suite and diff against the archived snapshot; fails if any
+# benchmark regressed more than 20% in ns/op or allocs/op.
+bench-compare:
+	$(GO) test -run xxx -bench . -benchmem ./... > BENCH_new.txt
+	$(GO) run ./cmd/benchjson -o BENCH_new.json < BENCH_new.txt
+	$(GO) run ./cmd/benchjson -diff BENCH_cbes.json BENCH_new.json
 
 # End-to-end observability smoke test: boots cbesd with -debug-listen,
 # drives a scheduling request, asserts /healthz plus non-zero core

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem ./... | benchjson -o BENCH_cbes.json
+//	benchjson -diff old.json new.json [-threshold 20]
+//
+// In -diff mode the tool compares two archived snapshots, prints the
+// per-benchmark ns/op and allocs/op deltas, and exits non-zero when any
+// benchmark regressed by more than -threshold percent — the regression gate
+// behind `make bench-compare`.
 //
 // Lines that are not benchmark results (PASS, ok, compile noise) pass
 // through to stderr untouched, so the tool can sit at the end of a pipe
@@ -16,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -41,34 +48,35 @@ type Result struct {
 
 func main() {
 	out := flag.String("o", "BENCH_cbes.json", "output file; - writes to stdout")
+	diff := flag.Bool("diff", false, "compare two snapshot files: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 20, "regression threshold in percent for -diff (ns/op and allocs/op)")
 	flag.Parse()
 
-	results := make(map[string]*Result)
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		r, ok := parseLine(line)
-		if !ok {
-			fmt.Fprintln(os.Stderr, line)
-			continue
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatal("benchjson: -diff needs exactly two files: old.json new.json")
 		}
-		// Same benchmark can appear once per package run under ./...;
-		// keep the fastest sample (steadiest machine state).
-		if prev, dup := results[r.Name]; !dup || r.NsPerOp < prev.NsPerOp {
-			results[r.Name] = r
+		oldR, err := loadResults(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
 		}
+		newR, err := loadResults(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, regressed := diffResults(oldR, newR, *threshold)
+		fmt.Print(report)
+		if regressed {
+			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% threshold\n", *threshold)
+			os.Exit(1)
+		}
+		return
 	}
-	if err := sc.Err(); err != nil {
+
+	sorted, err := readResults(os.Stdin, os.Stderr)
+	if err != nil {
 		log.Fatal(err)
 	}
-
-	sorted := make([]*Result, 0, len(results))
-	for _, r := range results {
-		sorted = append(sorted, r)
-	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
-
 	enc, err := json.MarshalIndent(sorted, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -82,6 +90,98 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(sorted), *out)
+}
+
+// readResults parses bench output from r, echoing non-benchmark lines to
+// passthrough, and returns the deduplicated results sorted by name.
+func readResults(r io.Reader, passthrough io.Writer) ([]*Result, error) {
+	results := make(map[string]*Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		res, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintln(passthrough, line)
+			continue
+		}
+		// Same benchmark can appear once per package run under ./...;
+		// keep the fastest sample (steadiest machine state).
+		if prev, dup := results[res.Name]; !dup || res.NsPerOp < prev.NsPerOp {
+			results[res.Name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sorted := make([]*Result, 0, len(results))
+	for _, res := range results {
+		sorted = append(sorted, res)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	return sorted, nil
+}
+
+// loadResults reads an archived snapshot written by the default mode.
+func loadResults(path string) ([]*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []*Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// deltaPct is the percentage change from old to new; +Inf-like cases (old
+// zero) report 0 so newly-instrumented metrics don't trip the gate.
+func deltaPct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// diffResults renders a per-benchmark comparison and reports whether any
+// benchmark's ns/op or allocs/op grew past thresholdPct. Benchmarks present
+// on only one side are listed but never gate.
+func diffResults(oldR, newR []*Result, thresholdPct float64) (string, bool) {
+	oldBy := make(map[string]*Result, len(oldR))
+	for _, r := range oldR {
+		oldBy[r.Name] = r
+	}
+	var sb strings.Builder
+	regressed := false
+	fmt.Fprintf(&sb, "%-40s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ%", "old allocs", "new allocs", "Δ%")
+	seen := make(map[string]bool, len(newR))
+	for _, n := range newR {
+		seen[n.Name] = true
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-40s %14s %14.0f %8s %12s %12.0f %8s  (new)\n",
+				n.Name, "-", n.NsPerOp, "-", "-", n.AllocsPerOp, "-")
+			continue
+		}
+		dNs := deltaPct(o.NsPerOp, n.NsPerOp)
+		dAl := deltaPct(o.AllocsPerOp, n.AllocsPerOp)
+		mark := ""
+		if dNs > thresholdPct || dAl > thresholdPct {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %+7.1f%% %12.0f %12.0f %+7.1f%%%s\n",
+			n.Name, o.NsPerOp, n.NsPerOp, dNs, o.AllocsPerOp, n.AllocsPerOp, dAl, mark)
+	}
+	for _, o := range oldR {
+		if !seen[o.Name] {
+			fmt.Fprintf(&sb, "%-40s %14.0f %14s %8s %12.0f %12s %8s  (removed)\n",
+				o.Name, o.NsPerOp, "-", "-", o.AllocsPerOp, "-", "-")
+		}
+	}
+	return sb.String(), regressed
 }
 
 // parseLine parses one `go test -bench` result line:

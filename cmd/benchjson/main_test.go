@@ -1,0 +1,126 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkApplicationRun-8   	       5	 193456789 ns/op	  832424 B/op	   64621 allocs/op")
+	if !ok {
+		t.Fatal("parseLine rejected a valid benchmark line")
+	}
+	if r.Name != "BenchmarkApplicationRun" {
+		t.Errorf("Name = %q", r.Name)
+	}
+	if r.Iterations != 5 || r.NsPerOp != 193456789 || r.BytesPerOp != 832424 || r.AllocsPerOp != 64621 {
+		t.Errorf("parsed %+v", r)
+	}
+
+	if _, ok := parseLine("ok  	cbes/internal/des	0.4s"); ok {
+		t.Error("parseLine accepted a non-benchmark line")
+	}
+	if _, ok := parseLine("PASS"); ok {
+		t.Error("parseLine accepted PASS")
+	}
+
+	r, ok = parseLine("BenchmarkEval-4  100  5.5 ns/op  1234 evals/s  7 widgets/op")
+	if !ok {
+		t.Fatal("parseLine rejected custom-metric line")
+	}
+	if r.EvalsPerSec != 1234 || r.Extra["widgets/op"] != 7 {
+		t.Errorf("custom metrics: %+v", r)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo-128":    "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo-bar":    "BenchmarkFoo-bar",
+		"BenchmarkFoo/sub-4":  "BenchmarkFoo/sub",
+		"BenchmarkFoo/case-1": "BenchmarkFoo/case",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestReadResults(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkA-8  10  200 ns/op  5 allocs/op",
+		"BenchmarkA-8  10  100 ns/op  5 allocs/op", // duplicate: keep fastest
+		"BenchmarkB-8  10  300 ns/op",
+		"PASS",
+	}, "\n")
+	var passthrough strings.Builder
+	rs, err := readResults(strings.NewReader(input), &passthrough)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	if rs[0].Name != "BenchmarkA" || rs[0].NsPerOp != 100 {
+		t.Errorf("dedup kept %+v, want the 100 ns/op sample", rs[0])
+	}
+	if rs[1].Name != "BenchmarkB" {
+		t.Errorf("results not sorted: %+v", rs)
+	}
+	if !strings.Contains(passthrough.String(), "goos: linux") || !strings.Contains(passthrough.String(), "PASS") {
+		t.Errorf("non-benchmark lines not passed through: %q", passthrough.String())
+	}
+}
+
+func TestDiffResults(t *testing.T) {
+	oldR := []*Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 500},
+	}
+
+	t.Run("improvement passes", func(t *testing.T) {
+		newR := []*Result{
+			{Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: 50},
+			{Name: "BenchmarkB", NsPerOp: 1100, AllocsPerOp: 100}, // +10%, under threshold
+			{Name: "BenchmarkFresh", NsPerOp: 42},
+		}
+		report, regressed := diffResults(oldR, newR, 20)
+		if regressed {
+			t.Fatalf("flagged regression on improvements:\n%s", report)
+		}
+		if !strings.Contains(report, "(new)") || !strings.Contains(report, "(removed)") {
+			t.Errorf("report missing one-sided markers:\n%s", report)
+		}
+	})
+
+	t.Run("ns regression fails", func(t *testing.T) {
+		newR := []*Result{{Name: "BenchmarkA", NsPerOp: 1500, AllocsPerOp: 100}}
+		report, regressed := diffResults(oldR, newR, 20)
+		if !regressed {
+			t.Fatalf("missed a +50%% ns/op regression:\n%s", report)
+		}
+		if !strings.Contains(report, "REGRESSION") {
+			t.Errorf("report does not mark the regression:\n%s", report)
+		}
+	})
+
+	t.Run("allocs regression fails", func(t *testing.T) {
+		newR := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 200}}
+		if _, regressed := diffResults(oldR, newR, 20); !regressed {
+			t.Fatal("missed a +100% allocs/op regression")
+		}
+	})
+
+	t.Run("zero old never gates", func(t *testing.T) {
+		oldZ := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 0}}
+		newZ := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 9}}
+		if _, regressed := diffResults(oldZ, newZ, 20); regressed {
+			t.Fatal("zero-baseline allocs tripped the gate")
+		}
+	})
+}

@@ -4,10 +4,12 @@
 // Usage:
 //
 //	experiments [-run all|phase1|fig5|phase3|fig6|table1|table2|fig7|table3|table4|headline|ablations]
-//	            [-scale 0.25] [-seed 42] [-v]
+//	            [-scale 0.25] [-seed 42] [-jobs 0] [-v]
 //
 // -scale 1.0 reproduces paper-sized case counts (slow); the default runs a
-// quarter-scale version whose shapes match.
+// quarter-scale version whose shapes match. Independent trials fan out
+// across all cores by default; -jobs limits the worker count (-jobs 1 is
+// the serial reference order, which produces identical results).
 package main
 
 import (
@@ -24,11 +26,12 @@ func main() {
 	run := flag.String("run", "all", "experiment to run (comma separated), or 'all'")
 	scale := flag.Float64("scale", 0.25, "case-count scale in (0,1]; 1.0 = paper-sized")
 	seed := flag.Int64("seed", 42, "experiment seed")
+	jobs := flag.Int("jobs", 0, "max parallel trials (0 = all cores, 1 = serial)")
 	verbose := flag.Bool("v", false, "progress output")
 	csvDir := flag.String("csv", "", "also export results as CSV into this directory")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Verbose: *verbose}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Jobs: *jobs, Verbose: *verbose}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
 		want[strings.TrimSpace(name)] = true

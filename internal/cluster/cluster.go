@@ -127,6 +127,10 @@ type Topology struct {
 	archs    map[Arch]ArchInfo
 	// routes[src][dst] is the ordered list of link IDs a message traverses.
 	routes [][][]int
+	// sigs[src][dst] caches PathSignature for built topologies: the latency
+	// model looks signatures up once per simulated transfer, so recomputing
+	// the string each time dominated netmodel's allocation profile.
+	sigs [][]string
 }
 
 // NumNodes reports the number of nodes.
@@ -165,6 +169,15 @@ func (t *Topology) Hops(src, dst int) int { return len(t.routes[src][dst]) }
 // same no-load latency curve; this is the basis of the paper's O(N)
 // resource-availability approximation.
 func (t *Topology) PathSignature(src, dst int) string {
+	if t.sigs != nil {
+		return t.sigs[src][dst]
+	}
+	return t.pathSignature(src, dst)
+}
+
+// pathSignature computes the signature from the route; Build caches the
+// result for every pair, the fallback above serves hand-literal topologies.
+func (t *Topology) pathSignature(src, dst int) string {
 	if src == dst {
 		return "loop|" + string(t.Nodes[src].Arch)
 	}

@@ -56,11 +56,23 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
 // Event is a scheduled callback. The zero value is invalid; obtain events
 // through Engine.Schedule or Engine.ScheduleAt.
+//
+// Fired and cancelled events are recycled through the engine's free list,
+// so a retained *Event handle is only meaningful while the caller knows the
+// event has not yet fired: once it fires (or is cancelled) the same Event
+// may be handed out again by a later Schedule call. Every in-tree caller
+// that retains a handle (e.g. vcluster's CPU completion event) clears it
+// before or at fire time, which is the pattern new callers must follow.
 type Event struct {
 	at    Time
 	seq   uint64
 	index int // heap index; -1 when not queued
 	fn    func()
+	// afn/arg is the allocation-lean callback form: a package-level (or
+	// otherwise pre-existing) function plus one argument, avoiding the
+	// closure allocation of fn on hot paths.
+	afn func(any)
+	arg any
 }
 
 // At reports the simulated time at which the event will fire.
@@ -109,6 +121,12 @@ type Engine struct {
 	procs   int // live simulated processes (diagnostics)
 	live    map[*Proc]struct{}
 	events  uint64
+	// free is the event free list: fired and cancelled events are recycled
+	// here instead of being released to the garbage collector. The list is
+	// bounded by the maximum number of simultaneously pending events, and
+	// Reset keeps it warm across runs.
+	free   []*Event
+	reused uint64
 }
 
 // NewEngine returns an engine positioned at time zero with an empty queue.
@@ -122,6 +140,58 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // Processed reports the total number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.events }
+
+// FreeEvents reports the current size of the event free list (diagnostics
+// and pooling tests).
+func (e *Engine) FreeEvents() int { return len(e.free) }
+
+// ReusedEvents reports how many Schedule calls were satisfied from the
+// free list instead of allocating.
+func (e *Engine) ReusedEvents() uint64 { return e.reused }
+
+// alloc hands out an event, recycled when possible.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.reused++
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle clears an event that will never fire again and returns it to the
+// free list.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// Reset returns the engine to its initial state — time zero, empty queue,
+// zero sequence counter — while keeping the event free list warm, so one
+// engine can be reused across independent simulation runs without
+// re-allocating its event population. All simulated processes must have
+// finished (call Shutdown first); pending events are discarded without
+// firing. A reset engine behaves identically to a freshly constructed one.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("des: Reset of a running engine")
+	}
+	if e.procs > 0 {
+		panic("des: Reset with live processes; call Shutdown first")
+	}
+	for _, ev := range e.queue {
+		e.recycle(ev)
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.events = 0
+}
 
 // Schedule queues fn to run after the given delay (clamped to >= 0) and
 // returns a handle that can be cancelled.
@@ -138,13 +208,45 @@ func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
 	if fn == nil {
 		panic("des: ScheduleAt with nil callback")
 	}
+	ev := e.alloc()
+	ev.fn = fn
+	e.push(ev, at)
+	return ev
+}
+
+// ScheduleArg queues fn(arg) to run after the given delay. It is the
+// allocation-lean form of Schedule: when fn is a package-level function the
+// call allocates nothing beyond the (recycled) event, where a closure
+// capturing the same state would allocate on every call.
+func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleArgAt(e.now+delay, fn, arg)
+}
+
+// ScheduleArgAt queues fn(arg) to run at the absolute simulated time at.
+func (e *Engine) ScheduleArgAt(at Time, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("des: ScheduleArgAt with nil callback")
+	}
+	ev := e.alloc()
+	ev.afn = fn
+	ev.arg = arg
+	e.push(ev, at)
+	return ev
+}
+
+// push stamps the event's time and sequence number and inserts it.
+func (e *Engine) push(ev *Event, at Time) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	ev.at = at
+	ev.seq = e.seq
+	ev.index = -1
 	heap.Push(&e.queue, ev)
-	return ev
 }
 
 // Cancel removes a pending event from the queue. Cancelling an event that
@@ -154,8 +256,7 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
-	ev.fn = nil
+	e.recycle(ev)
 }
 
 // Step executes the earliest pending event if its timestamp is <= limit.
@@ -179,10 +280,16 @@ func (e *Engine) step(limit Time) bool {
 	if next.at > e.now {
 		e.now = next.at
 	}
-	fn := next.fn
-	next.fn = nil
+	// Capture the callback, then recycle the event *before* invoking it so
+	// any events the callback schedules can reuse this one immediately.
+	fn, afn, arg := next.fn, next.afn, next.arg
+	e.recycle(next)
 	e.events++
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
 	return true
 }
 

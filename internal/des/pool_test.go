@@ -1,0 +1,134 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestEventRecycling pins the free-list behavior: a fired event's storage is
+// handed out again by a later Schedule call instead of being allocated.
+func TestEventRecycling(t *testing.T) {
+	e := NewEngine()
+	first := e.Schedule(Second, func() {})
+	e.Run()
+	if e.FreeEvents() != 1 {
+		t.Fatalf("FreeEvents = %d after one fired event, want 1", e.FreeEvents())
+	}
+	second := e.Schedule(Second, func() {})
+	if second != first {
+		t.Fatal("Schedule did not reuse the fired event's storage")
+	}
+	if e.ReusedEvents() != 1 {
+		t.Fatalf("ReusedEvents = %d, want 1", e.ReusedEvents())
+	}
+	e.Run()
+}
+
+// TestCancelRecyclesEvent pins Remove-then-reschedule: a cancelled event goes
+// back to the pool and the recycled handle schedules and fires normally.
+func TestCancelRecyclesEvent(t *testing.T) {
+	e := NewEngine()
+	cancelled := e.Schedule(Second, func() { t.Fatal("cancelled event fired") })
+	e.Cancel(cancelled)
+	if e.FreeEvents() != 1 {
+		t.Fatalf("FreeEvents = %d after cancel, want 1", e.FreeEvents())
+	}
+	fired := false
+	ev := e.Schedule(2*Second, func() { fired = true })
+	if ev != cancelled {
+		t.Fatal("Schedule did not reuse the cancelled event's storage")
+	}
+	if !ev.Scheduled() {
+		t.Fatal("recycled event not scheduled")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	if e.Now() != 2*Second {
+		t.Fatalf("Now = %v, want 2s", e.Now())
+	}
+}
+
+// TestScheduleArg checks the allocation-lean callback form fires with its
+// argument at the right time and recycles like fn events.
+func TestScheduleArg(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	record := func(a any) { got = append(got, a.(int)) }
+	e.ScheduleArg(2*Second, record, 2)
+	e.ScheduleArg(Second, record, 1)
+	e.ScheduleArgAt(3*Second, record, 3)
+	e.Run()
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+	if e.FreeEvents() != 3 {
+		t.Fatalf("FreeEvents = %d, want 3", e.FreeEvents())
+	}
+}
+
+// miniSim runs a small randomized event cascade on e and returns the
+// (label, time) firing sequence.
+func miniSim(e *Engine, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var log []string
+	var spawn func(depth, id int)
+	spawn = func(depth, id int) {
+		delay := Time(rng.Intn(1000)) * Millisecond
+		ev := e.Schedule(delay, func() {
+			log = append(log, fmt.Sprintf("%d.%d@%v", depth, id, e.Now()))
+			if depth < 3 {
+				for c := 0; c < 2; c++ {
+					spawn(depth+1, 10*id+c)
+				}
+			}
+		})
+		if rng.Intn(5) == 0 {
+			e.Cancel(ev)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		spawn(0, i)
+	}
+	e.Run()
+	return log
+}
+
+// TestResetDeterminism runs the same seeded cascade on a fresh engine and on
+// a reused (Reset) one with a warm free list: the event orderings must be
+// identical, i.e. pooling is invisible to simulation results.
+func TestResetDeterminism(t *testing.T) {
+	fresh := miniSim(NewEngine(), 42)
+
+	e := NewEngine()
+	miniSim(e, 7) // populate the free list with a different run
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("Reset left state: now=%v pending=%d processed=%d",
+			e.Now(), e.Pending(), e.Processed())
+	}
+	if e.FreeEvents() == 0 {
+		t.Fatal("Reset discarded the free list")
+	}
+	reused := miniSim(e, 42)
+
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Fatalf("pooled engine diverged from fresh engine:\nfresh:  %v\nreused: %v", fresh, reused)
+	}
+}
+
+// TestResetRecyclesPending ensures events still queued at Reset time return
+// to the free list.
+func TestResetRecyclesPending(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i)*Second, func() {})
+	}
+	e.Reset()
+	if e.FreeEvents() != 5 {
+		t.Fatalf("FreeEvents = %d after Reset, want 5", e.FreeEvents())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"cbes/internal/core"
 	"cbes/internal/des"
 	"cbes/internal/monitor"
+	"cbes/internal/parfor"
 	"cbes/internal/schedule"
 	"cbes/internal/stats"
 	"cbes/internal/vcluster"
@@ -73,13 +74,19 @@ func (r *AblationResult) lambdaStudy(l *Lab, cfg Config) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 11))
 	n := cfg.scaled(16, 6)
-	var errOn, errOff []float64
 	snap := monitor.IdleSnapshot(l.GroveTopo.NumNodes())
-	for i := 0; i < n; i++ {
-		m := pickMapping(pool, prog.Ranks, rng)
+	// Pre-draw the mappings serially, then fan the measure+predict pairs out.
+	mappings := make([][]int, n)
+	for i := range mappings {
+		mappings[i] = pickMapping(pool, prog.Ranks, rng)
+	}
+	errOn := make([]float64, n)
+	errOff := make([]float64, n)
+	parfor.Do(cfg.jobs(), n, func(i int) {
+		m := mappings[i]
 		actual := l.Measure(l.GroveTopo, prog, m, JitterNone, 0)
 		pOn := predict(evalOn, m, snap)
-		errOn = append(errOn, errPct(pOn, actual))
+		errOn[i] = errPct(pOn, actual)
 
 		// λ=1 prediction: undo the per-process λ scaling of the C term in
 		// the breakdown (C_i/λ_i = raw Θ_i).
@@ -102,8 +109,8 @@ func (r *AblationResult) lambdaStudy(l *Lab, cfg Config) {
 			}
 			adj += segMax
 		}
-		errOff = append(errOff, errPct(adj, actual))
-	}
+		errOff[i] = errPct(adj, actual)
+	})
 	r.LambdaOnErr = stats.Mean(errOn)
 	r.LambdaOffErr = stats.Mean(errOff)
 	cfg.logf("ablation λ: on %.2f%% off %.2f%%", r.LambdaOnErr, r.LambdaOffErr)
@@ -122,17 +129,29 @@ func (r *AblationResult) modelStudy(l *Lab, cfg Config) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 12))
 	probes := cfg.scaled(24, 8)
-	var classErr, allErr []float64
+	// Pre-draw all probe pairs — including the discarded a==b draws, which
+	// still consume rng state exactly as the serial loop did — then fan the
+	// valid probes out.
+	type probe struct {
+		a, b int
+		size int64
+	}
+	var valid []probe
 	for i := 0; i < probes; i++ {
 		a, b := rng.Intn(topo.NumNodes()), rng.Intn(topo.NumNodes())
 		if a == b {
 			continue
 		}
-		size := sizes[i%len(sizes)]
-		direct := bench.MeasurePairLatency(topo, a, b, size, 5, 1.0)
-		classErr = append(classErr, errPct(classModel.NoLoad(a, b, size), direct))
-		allErr = append(allErr, errPct(allModel.NoLoad(a, b, size), direct))
+		valid = append(valid, probe{a, b, sizes[i%len(sizes)]})
 	}
+	classErr := make([]float64, len(valid))
+	allErr := make([]float64, len(valid))
+	parfor.Do(cfg.jobs(), len(valid), func(i int) {
+		p := valid[i]
+		direct := bench.MeasurePairLatency(topo, p.a, p.b, p.size, 5, 1.0)
+		classErr[i] = errPct(classModel.NoLoad(p.a, p.b, p.size), direct)
+		allErr[i] = errPct(allModel.NoLoad(p.a, p.b, p.size), direct)
+	})
 	r.ClassModelErr = stats.Mean(classErr)
 	r.AllPairsModelErr = stats.Mean(allErr)
 	cfg.logf("ablation model: class %.2f%% allpairs %.2f%%", r.ClassModelErr, r.AllPairsModelErr)
@@ -208,16 +227,20 @@ func (r *AblationResult) schedulerStudy(l *Lab, cfg Config) {
 		{"rs", func(s int64) (*schedule.Decision, error) { return schedule.Random(req(s)) }},
 	}
 	trials := cfg.scaled(10, 4)
-	for _, a := range algs {
-		var gaps []float64
-		for s := int64(0); s < int64(trials); s++ {
-			d, err := a.run(cfg.Seed + 100 + s)
-			if err != nil {
-				panic(err)
-			}
-			gaps = append(gaps, (d.Predicted-opt.Predicted)/opt.Predicted*100)
+	gaps := make([][]float64, len(algs))
+	for ai := range gaps {
+		gaps[ai] = make([]float64, trials)
+	}
+	parfor.Do(cfg.jobs(), len(algs)*trials, func(i int) {
+		ai, s := i/trials, i%trials
+		d, err := algs[ai].run(cfg.Seed + 100 + int64(s))
+		if err != nil {
+			panic(err)
 		}
-		r.SchedulerGapPct[a.name] = stats.Mean(gaps)
+		gaps[ai][s] = (d.Predicted - opt.Predicted) / opt.Predicted * 100
+	})
+	for ai, a := range algs {
+		r.SchedulerGapPct[a.name] = stats.Mean(gaps[ai])
 	}
 	cfg.logf("ablation schedulers: %v", r.SchedulerGapPct)
 }

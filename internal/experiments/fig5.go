@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cbes/internal/monitor"
+	"cbes/internal/parfor"
 	"cbes/internal/stats"
 	"cbes/internal/workloads"
 )
@@ -64,15 +65,28 @@ func Fig5(l *Lab, cfg Config) *Fig5Result {
 	}
 
 	res := &Fig5Result{}
+	// Serial pre-pass builds the profiled evaluators (lab caches are not
+	// goroutine-safe); the measurement grid then fans out with per-trial
+	// seeds derived from (case, run) indices.
+	mappings := make([][]int, len(cases))
+	preds := make([]float64, len(cases))
+	grid := make([][]float64, len(cases))
 	for i, tc := range cases {
-		mapping := centurionSpread(topo, tc.nodes)
-		eval := l.Evaluator(topo, tc.prog, mapping)
-		pred := predict(eval, mapping, monitor.IdleSnapshot(topo.NumNodes()))
-		var errs, times []float64
-		for r := 0; r < runs; r++ {
-			actual := l.Measure(topo, tc.prog, mapping, JitterOS, cfg.Seed+int64(1000*i+r))
-			errs = append(errs, errPct(pred, actual))
-			times = append(times, actual)
+		mappings[i] = centurionSpread(topo, tc.nodes)
+		eval := l.Evaluator(topo, tc.prog, mappings[i])
+		preds[i] = predict(eval, mappings[i], monitor.IdleSnapshot(topo.NumNodes()))
+		grid[i] = make([]float64, runs)
+	}
+	parfor.Do(cfg.jobs(), len(cases)*runs, func(k int) {
+		i, r := k/runs, k%runs
+		grid[i][r] = l.Measure(topo, cases[i].prog, mappings[i], JitterOS, cfg.Seed+int64(1000*i+r))
+	})
+	for i, tc := range cases {
+		pred := preds[i]
+		times := grid[i]
+		errs := make([]float64, runs)
+		for r, actual := range times {
+			errs[r] = errPct(pred, actual)
 		}
 		mean, ci := stats.MeanCI(errs)
 		res.Cases = append(res.Cases, Fig5Case{

@@ -13,7 +13,9 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"cbes/internal/bench"
 	"cbes/internal/cluster"
@@ -35,8 +37,22 @@ type Config struct {
 	// Scale in (0,1] shrinks case counts / repetitions; 1.0 is the
 	// paper-sized run. The default (0) means 0.25.
 	Scale float64
+	// Jobs bounds the worker pool that fans independent trials across
+	// cores: 0 (the default) uses one worker per core, 1 forces the serial
+	// reference order. Results are identical for any value — trials draw
+	// their randomness serially (or from index-derived seeds) and write
+	// results by index.
+	Jobs int
 	// Verbose enables progress lines on stdout.
 	Verbose bool
+}
+
+// jobs resolves the worker count handed to parfor.Do.
+func (c Config) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c Config) scale() float64 {
@@ -49,11 +65,16 @@ func (c Config) scale() float64 {
 	return c.Scale
 }
 
-// scaled returns max(min, round(full*scale)).
+// scaled returns max(min, 1, round(full*scale)): even a tiny Scale yields at
+// least one trial, so loops that split the budget afterwards (for example
+// Table 2's per-scheduler runs) can never round down to zero iterations.
 func (c Config) scaled(full, min int) int {
 	n := int(float64(full)*c.scale() + 0.5)
 	if n < min {
 		n = min
+	}
+	if n < 1 {
+		n = 1
 	}
 	return n
 }
@@ -132,10 +153,11 @@ func (l *Lab) Profile(topo *cluster.Topology, prog workloads.Program, mapping []
 	if p, ok := l.profiles[key]; ok {
 		return p
 	}
-	eng := des.NewEngine()
+	eng := engPool.Get().(*des.Engine)
 	vc := vcluster.New(eng, topo)
 	net := simnet.New(eng, topo)
 	res := mpisim.Run(vc, net, mapping, prog.Body, prog.Options())
+	releaseEngine(eng)
 	p, err := profile.FromTrace(res.Trace, topo, l.archSpeeds(topo, prog))
 	if err != nil {
 		panic(err)
@@ -192,10 +214,22 @@ func (l *Lab) Measure(topo *cluster.Topology, prog workloads.Program, mapping []
 	return res
 }
 
+// engPool recycles DES engines (and their warm event free lists) across
+// measurement trials; engines come back via des.Engine.Reset, which restores
+// the freshly-constructed state.
+var engPool = sync.Pool{New: func() any { return des.NewEngine() }}
+
+// releaseEngine returns a finished engine to the pool.
+func releaseEngine(eng *des.Engine) {
+	eng.Shutdown()
+	eng.Reset()
+	engPool.Put(eng)
+}
+
 // MeasureWithLoad is Measure plus explicit per-node availability overrides
 // applied before the run (used by the phase-3 load-sensitivity study).
 func (l *Lab) MeasureWithLoad(topo *cluster.Topology, prog workloads.Program, mapping []int, jitter JitterLevel, jitterSeed int64, avail map[int]float64) float64 {
-	eng := des.NewEngine()
+	eng := engPool.Get().(*des.Engine)
 	vc := vcluster.New(eng, topo)
 	net := simnet.New(eng, topo)
 	rng := rand.New(rand.NewSource(jitterSeed))
@@ -219,7 +253,7 @@ func (l *Lab) MeasureWithLoad(topo *cluster.Topology, prog workloads.Program, ma
 		}
 	}
 	res := mpisim.Run(vc, net, mapping, prog.Body, prog.Options())
-	eng.Shutdown()
+	releaseEngine(eng)
 	return res.Elapsed.Seconds()
 }
 

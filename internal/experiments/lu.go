@@ -8,6 +8,7 @@ import (
 	"cbes/internal/cluster"
 	"cbes/internal/core"
 	"cbes/internal/monitor"
+	"cbes/internal/parfor"
 	"cbes/internal/schedule"
 	"cbes/internal/stats"
 )
@@ -97,13 +98,23 @@ func Fig6LUZones(l *Lab, cfg Config) *Fig6Result {
 	prog := luProgram()
 	perZone := cfg.scaled(33, 8)
 	res := &Fig6Result{}
+	type fig6Trial struct {
+		m    []int
+		seed int64
+	}
 	for _, z := range l.luZones() {
-		zone := Fig6Zone{Name: z.Name, Mappings: perZone}
-		for k := 0; k < perZone; k++ {
-			m := l.sampleZoneMapping(z, prog.Ranks, rng)
-			t := l.Measure(l.GroveTopo, prog, m, JitterOS, rng.Int63())
-			zone.Times = append(zone.Times, t)
+		zone := Fig6Zone{Name: z.Name, Mappings: perZone, Times: make([]float64, perZone)}
+		// Draw every trial's mapping and jitter seed serially, in the exact
+		// order the serial loop consumed the rng, then fan the measurements
+		// out: results land by index, so output is identical for any -jobs.
+		trials := make([]fig6Trial, perZone)
+		for k := range trials {
+			trials[k].m = l.sampleZoneMapping(z, prog.Ranks, rng)
+			trials[k].seed = rng.Int63()
 		}
+		parfor.Do(cfg.jobs(), perZone, func(k int) {
+			zone.Times[k] = l.Measure(l.GroveTopo, prog, trials[k].m, JitterOS, trials[k].seed)
+		})
 		zone.Min = stats.Min(zone.Times)
 		zone.Max = stats.Max(zone.Times)
 		zone.Mean = stats.Mean(zone.Times)
@@ -157,19 +168,33 @@ func Table1(l *Lab, cfg Config) *Table1Result {
 	res := &Table1Result{}
 	globalBest, globalWorst := 0.0, 0.0
 	for zi, z := range l.luZones() {
-		best, err := schedule.SimulatedAnnealing(l.zoneRequest(eval, z, cfg.Seed+int64(zi), 6000, false))
-		if err != nil {
-			panic(err)
+		// The best/worst anneals are independent (distinct seeds), as is
+		// every measurement run (index-derived jitter seeds) — fan them out.
+		var best, worst *schedule.Decision
+		var bestErr, worstErr error
+		parfor.Do(cfg.jobs(), 2, func(i int) {
+			if i == 0 {
+				best, bestErr = schedule.SimulatedAnnealing(l.zoneRequest(eval, z, cfg.Seed+int64(zi), 6000, false))
+			} else {
+				worst, worstErr = schedule.SimulatedAnnealing(l.zoneRequest(eval, z, cfg.Seed+int64(zi)+50, 6000, true))
+			}
+		})
+		if bestErr != nil {
+			panic(bestErr)
 		}
-		worst, err := schedule.SimulatedAnnealing(l.zoneRequest(eval, z, cfg.Seed+int64(zi)+50, 6000, true))
-		if err != nil {
-			panic(err)
+		if worstErr != nil {
+			panic(worstErr)
 		}
-		var bestT, worstT []float64
-		for r := 0; r < runs; r++ {
-			bestT = append(bestT, l.Measure(l.GroveTopo, prog, best.Mapping, JitterOS, cfg.Seed+int64(100*zi+r)))
-			worstT = append(worstT, l.Measure(l.GroveTopo, prog, worst.Mapping, JitterOS, cfg.Seed+int64(100*zi+r+9999)))
-		}
+		bestT := make([]float64, runs)
+		worstT := make([]float64, runs)
+		parfor.Do(cfg.jobs(), 2*runs, func(i int) {
+			r := i / 2
+			if i%2 == 0 {
+				bestT[r] = l.Measure(l.GroveTopo, prog, best.Mapping, JitterOS, cfg.Seed+int64(100*zi+r))
+			} else {
+				worstT[r] = l.Measure(l.GroveTopo, prog, worst.Mapping, JitterOS, cfg.Seed+int64(100*zi+r+9999))
+			}
+		})
 		bm, bci := stats.MeanCI(bestT)
 		wm, wci := stats.MeanCI(worstT)
 		res.Rows = append(res.Rows, Table1Row{
@@ -259,33 +284,39 @@ func Table2(l *Lab, cfg Config) *Table2Result {
 		}
 		bestPred := ref.Predicted
 
-		for _, sched := range []string{"CS", "NCS"} {
+		// Every (scheduler, run) trial derives its seeds from its indices, so
+		// the full 2×runs block fans out; rows are assembled serially after.
+		preds := [2][]float64{make([]float64, runs), make([]float64, runs)}
+		meas := [2][]float64{make([]float64, runs), make([]float64, runs)}
+		parfor.Do(cfg.jobs(), 2*runs, func(i int) {
+			si, k := i/runs, i%runs
+			req := l.zoneRequest(eval, z, cfg.Seed+int64(200*zi+k), 6000, false)
+			var dec *schedule.Decision
+			var err error
+			if si == 0 {
+				dec, err = schedule.SimulatedAnnealing(req)
+			} else {
+				dec, err = schedule.SimulatedAnnealingNoComm(req)
+			}
+			if err != nil {
+				panic(err)
+			}
+			preds[si][k] = dec.Predicted
+			meas[si][k] = l.Measure(l.GroveTopo, prog, dec.Mapping, JitterOS,
+				cfg.Seed+int64(300*zi+k))
+		})
+		for si, sched := range []string{"CS", "NCS"} {
 			row := Table2Row{Case: z.Name, Scheduler: sched, Runs: runs}
 			hits := 0
-			var preds, meas []float64
 			for k := 0; k < runs; k++ {
-				req := l.zoneRequest(eval, z, cfg.Seed+int64(200*zi+k), 6000, false)
-				var dec *schedule.Decision
-				var err error
-				if sched == "CS" {
-					dec, err = schedule.SimulatedAnnealing(req)
-				} else {
-					dec, err = schedule.SimulatedAnnealingNoComm(req)
-				}
-				if err != nil {
-					panic(err)
-				}
-				preds = append(preds, dec.Predicted)
-				if dec.Predicted <= bestPred*1.005 {
+				if preds[si][k] <= bestPred*1.005 {
 					hits++
 				}
-				meas = append(meas, l.Measure(l.GroveTopo, prog, dec.Mapping, JitterOS,
-					cfg.Seed+int64(300*zi+k)))
 			}
-			row.AvgPredicted, row.PredCI = stats.MeanCI(preds)
+			row.AvgPredicted, row.PredCI = stats.MeanCI(preds[si])
 			row.HitsPct = float64(hits) / float64(runs) * 100
-			row.AvgMeasured, row.MeasCI = stats.MeanCI(meas)
-			row.Predictions = preds
+			row.AvgMeasured, row.MeasCI = stats.MeanCI(meas[si])
+			row.Predictions = preds[si]
 			res.Rows = append(res.Rows, row)
 			cfg.logf("table2: %s %s hits %.0f%%", z.Name, sched, row.HitsPct)
 		}

@@ -7,6 +7,7 @@ import (
 	"cbes/internal/cluster"
 	"cbes/internal/core"
 	"cbes/internal/monitor"
+	"cbes/internal/parfor"
 	"cbes/internal/schedule"
 	"cbes/internal/stats"
 	"cbes/internal/workloads"
@@ -98,19 +99,31 @@ func Table3(l *Lab, cfg Config) *Table3Result {
 				Maximize: maximize,
 			}
 		}
-		best, err := schedule.SimulatedAnnealing(req(cfg.Seed+int64(pi), false))
-		if err != nil {
-			panic(err)
+		var best, worst *schedule.Decision
+		var bestErr, worstErr error
+		parfor.Do(cfg.jobs(), 2, func(i int) {
+			if i == 0 {
+				best, bestErr = schedule.SimulatedAnnealing(req(cfg.Seed+int64(pi), false))
+			} else {
+				worst, worstErr = schedule.SimulatedAnnealing(req(cfg.Seed+int64(pi)+40, true))
+			}
+		})
+		if bestErr != nil {
+			panic(bestErr)
 		}
-		worst, err := schedule.SimulatedAnnealing(req(cfg.Seed+int64(pi)+40, true))
-		if err != nil {
-			panic(err)
+		if worstErr != nil {
+			panic(worstErr)
 		}
-		var bestT, worstT []float64
-		for r := 0; r < runs; r++ {
-			bestT = append(bestT, l.Measure(l.GroveTopo, prog, best.Mapping, JitterOS, cfg.Seed+int64(500*pi+r)))
-			worstT = append(worstT, l.Measure(l.GroveTopo, prog, worst.Mapping, JitterOS, cfg.Seed+int64(500*pi+r+7777)))
-		}
+		bestT := make([]float64, runs)
+		worstT := make([]float64, runs)
+		parfor.Do(cfg.jobs(), 2*runs, func(i int) {
+			r := i / 2
+			if i%2 == 0 {
+				bestT[r] = l.Measure(l.GroveTopo, prog, best.Mapping, JitterOS, cfg.Seed+int64(500*pi+r))
+			} else {
+				worstT[r] = l.Measure(l.GroveTopo, prog, worst.Mapping, JitterOS, cfg.Seed+int64(500*pi+r+7777))
+			}
+		})
 		bm, bci := stats.MeanCI(bestT)
 		wm, wci := stats.MeanCI(worstT)
 		speedup := (wm - bm) / wm * 100
@@ -197,36 +210,42 @@ func Table4(l *Lab, cfg Config) *Table4Result {
 		}
 		bestPred := ref.Predicted
 
+		// As in Table 2, the full (scheduler × run) block fans out on
+		// index-derived seeds and the rows are assembled serially after.
+		preds := [2][]float64{make([]float64, runs), make([]float64, runs)}
+		meas := [2][]float64{make([]float64, runs), make([]float64, runs)}
+		parfor.Do(cfg.jobs(), 2*runs, func(i int) {
+			si, k := i/runs, i%runs
+			req := &schedule.Request{
+				Eval: eval, Snap: monitor.IdleSnapshot(l.GroveTopo.NumNodes()),
+				Pool: pool, Seed: cfg.Seed + int64(400*pi+k), Effort: 6000,
+			}
+			var dec *schedule.Decision
+			var err error
+			if si == 0 {
+				dec, err = schedule.SimulatedAnnealing(req)
+			} else {
+				dec, err = schedule.SimulatedAnnealingNoComm(req)
+			}
+			if err != nil {
+				panic(err)
+			}
+			preds[si][k] = dec.Predicted
+			meas[si][k] = l.Measure(l.GroveTopo, prog, dec.Mapping, JitterOS,
+				cfg.Seed+int64(600*pi+k))
+		})
 		var csRow, ncsRow Table4Row
-		for _, sched := range []string{"CS", "NCS"} {
+		for si, sched := range []string{"CS", "NCS"} {
 			row := Table4Row{Case: prog.Name, Scheduler: sched, Runs: runs}
 			hits := 0
-			var preds, meas []float64
 			for k := 0; k < runs; k++ {
-				req := &schedule.Request{
-					Eval: eval, Snap: monitor.IdleSnapshot(l.GroveTopo.NumNodes()),
-					Pool: pool, Seed: cfg.Seed + int64(400*pi+k), Effort: 6000,
-				}
-				var dec *schedule.Decision
-				var err error
-				if sched == "CS" {
-					dec, err = schedule.SimulatedAnnealing(req)
-				} else {
-					dec, err = schedule.SimulatedAnnealingNoComm(req)
-				}
-				if err != nil {
-					panic(err)
-				}
-				preds = append(preds, dec.Predicted)
-				if dec.Predicted <= bestPred*1.005 {
+				if preds[si][k] <= bestPred*1.005 {
 					hits++
 				}
-				meas = append(meas, l.Measure(l.GroveTopo, prog, dec.Mapping, JitterOS,
-					cfg.Seed+int64(600*pi+k)))
 			}
-			row.AvgPredicted, row.PredCI = stats.MeanCI(preds)
+			row.AvgPredicted, row.PredCI = stats.MeanCI(preds[si])
 			row.HitsPct = float64(hits) / float64(runs) * 100
-			row.AvgMeasured, row.MeasCI = stats.MeanCI(meas)
+			row.AvgMeasured, row.MeasCI = stats.MeanCI(meas[si])
 			res.Rows = append(res.Rows, row)
 			if sched == "CS" {
 				csRow = row

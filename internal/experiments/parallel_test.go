@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"cbes/internal/raceflag"
+)
+
+// TestParallelMatchesSerial is the acceptance test for the parallel lab:
+// experiment results for a fixed seed must be byte-identical between the
+// serial reference order (Jobs=1) and a parallel run. It covers the three
+// distinct fan-out shapes — pre-drawn rng trials (Fig6), a serial
+// pre-pass feeding an indexed grid (Phase1), and index-derived seeds with
+// embedded anneals (Table2). Wall-clock fields (SchedulerSecs and friends)
+// are excluded by construction: none of these results carry them.
+func TestParallelMatchesSerial(t *testing.T) {
+	l := lab(t)
+	serial := tinyCfg()
+	serial.Jobs = 1
+	parallel := tinyCfg()
+	parallel.Jobs = 8
+
+	t.Run("fig6", func(t *testing.T) {
+		a := Fig6LUZones(l, serial)
+		b := Fig6LUZones(l, parallel)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("fig6 diverged:\nserial:   %+v\nparallel: %+v", a, b)
+		}
+		if a.Render() != b.Render() {
+			t.Fatal("fig6 renders differ")
+		}
+	})
+	t.Run("phase1", func(t *testing.T) {
+		a := Phase1Sweep(l, serial)
+		b := Phase1Sweep(l, parallel)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("phase1 diverged:\nserial:   %+v\nparallel: %+v", a, b)
+		}
+		if a.Render() != b.Render() {
+			t.Fatal("phase1 renders differ")
+		}
+	})
+	t.Run("table2", func(t *testing.T) {
+		if raceflag.Enabled {
+			t.Skip("embedded anneals make table2 impractically slow under -race; fig6/phase1 exercise the same fan-out machinery")
+		}
+		a := Table2(l, serial)
+		b := Table2(l, parallel)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("table2 diverged:\nserial:   %+v\nparallel: %+v", a, b)
+		}
+		if a.Render() != b.Render() {
+			t.Fatal("table2 renders differ")
+		}
+	})
+}
+
+// TestScaledClamp pins the rounding fix: scaled can never return 0, even for
+// Scale values that round the budget down past the explicit minimum.
+func TestScaledClamp(t *testing.T) {
+	cases := []struct {
+		scale     float64
+		full, min int
+		want      int
+	}{
+		{0.0001, 100, 0, 1}, // rounds to 0, clamped to 1
+		{0.0001, 5, 3, 3},   // explicit min still wins
+		{0.01, 100, 0, 1},
+		{1, 100, 10, 100},
+		{0.25, 100, 0, 25},
+		{0.5, 1, 0, 1}, // 0.5 rounds up
+	}
+	for _, c := range cases {
+		got := Config{Scale: c.scale}.scaled(c.full, c.min)
+		if got != c.want {
+			t.Errorf("Config{Scale:%v}.scaled(%d,%d) = %d, want %d",
+				c.scale, c.full, c.min, got, c.want)
+		}
+		if got < 1 {
+			t.Errorf("scaled(%d,%d) at scale %v returned %d < 1", c.full, c.min, c.scale, got)
+		}
+	}
+}
+
+// TestJobsResolution pins the worker-count defaulting.
+func TestJobsResolution(t *testing.T) {
+	if got := (Config{Jobs: 1}).jobs(); got != 1 {
+		t.Fatalf("Jobs=1 resolved to %d", got)
+	}
+	if got := (Config{Jobs: 3}).jobs(); got != 3 {
+		t.Fatalf("Jobs=3 resolved to %d", got)
+	}
+	if got := (Config{}).jobs(); got < 1 {
+		t.Fatalf("default jobs = %d, want >= 1", got)
+	}
+}

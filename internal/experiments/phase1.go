@@ -6,10 +6,21 @@ import (
 	"strings"
 
 	"cbes/internal/cluster"
+	"cbes/internal/core"
 	"cbes/internal/monitor"
+	"cbes/internal/parfor"
 	"cbes/internal/stats"
 	"cbes/internal/workloads"
 )
+
+// phase1Case is one pre-drawn sweep case, ready to be evaluated in parallel.
+type phase1Case struct {
+	bedName string
+	topo    *cluster.Topology
+	eval    *core.Evaluator
+	mapping []int
+	seed    int64
+}
 
 // Phase1Result summarises the synthetic prediction-error sweep of §5
 // (phase 1): >16 000 parameter combinations in the paper, covering
@@ -85,29 +96,42 @@ func Phase1Sweep(l *Lab, cfg Config) *Phase1Result {
 					MsgsPerIter:    2,
 					Overlap:        overlap,
 				})
+				// Serial pre-pass: profile/evaluator cache population and
+				// every rng draw happen in the original loop order; the
+				// predict+measure work — all of the cost — then fans out
+				// with results landing by index.
+				cases := make([]phase1Case, mappingsPerConfig)
 				for m := 0; m < mappingsPerConfig; m++ {
-					b := beds[m%len(beds)]
-					topo := l.GroveTopo
-					if strings.HasPrefix(b.name, "cent") {
-						topo = centTopo
+					c := &cases[m]
+					c.bedName = beds[m%len(beds)].name
+					pool := beds[m%len(beds)].pool
+					c.topo = l.GroveTopo
+					if strings.HasPrefix(c.bedName, "cent") {
+						c.topo = centTopo
 					}
-					profMapping := b.pool[:8]
-					eval := l.Evaluator(topo, prog, profMapping)
+					c.eval = l.Evaluator(c.topo, prog, pool[:8])
 					// Most mappings are node-list-contiguous (the shape
 					// real allocators hand out); a minority are fully
 					// random scatters, which stress the model hardest.
-					var mapping []int
 					if m%4 == 3 {
-						mapping = pickMapping(b.pool, 8, rng)
+						c.mapping = pickMapping(pool, 8, rng)
 					} else {
-						mapping = pickContiguous(b.pool, 8, rng)
+						c.mapping = pickContiguous(pool, 8, rng)
 					}
-					pred := predict(eval, mapping, monitor.IdleSnapshot(topo.NumNodes()))
-					actual := l.Measure(topo, prog, mapping, JitterOS, rng.Int63())
-					e := errPct(pred, actual)
+					c.seed = rng.Int63()
+				}
+				errs := make([]float64, mappingsPerConfig)
+				parfor.Do(cfg.jobs(), mappingsPerConfig, func(m int) {
+					c := &cases[m]
+					pred := predict(c.eval, c.mapping, monitor.IdleSnapshot(c.topo.NumNodes()))
+					actual := l.Measure(c.topo, prog, c.mapping, JitterOS, c.seed)
+					errs[m] = errPct(pred, actual)
+				})
+				for m := 0; m < mappingsPerConfig; m++ {
+					e := errs[m]
 					res.Errors = append(res.Errors, e)
 					res.Cases++
-					res.ClusterCases[b.name]++
+					res.ClusterCases[cases[m].bedName]++
 					ok := fmt.Sprintf("%.2f", overlap)
 					res.ByOverlap[ok] += e
 					overlapCount[ok]++

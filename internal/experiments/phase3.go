@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cbes/internal/monitor"
+	"cbes/internal/parfor"
 	"cbes/internal/stats"
 	"cbes/internal/workloads"
 )
@@ -48,17 +49,27 @@ func Phase3LoadSensitivity(l *Lab, cfg Config) *Phase3Result {
 		eval := l.Evaluator(topo, prog, mapping)
 		// The prediction is made against the pre-load (idle) snapshot.
 		stalePred := predict(eval, mapping, monitor.IdleSnapshot(topo.NumNodes()))
-		for _, loadPct := range loads {
-			avail := map[int]float64{}
+		// Every (load, run) measurement derives its jitter seed from its
+		// indices, so the whole grid fans out across workers.
+		availByLoad := make([]map[int]float64, len(loads))
+		grid := make([][]float64, len(loads))
+		for li, loadPct := range loads {
+			availByLoad[li] = map[int]float64{}
 			if loadPct > 0 {
-				avail[mapping[3]] = 1 - float64(loadPct)/100
+				availByLoad[li][mapping[3]] = 1 - float64(loadPct)/100
 			}
-			var errs, times []float64
-			for r := 0; r < runs; r++ {
-				actual := l.MeasureWithLoad(topo, prog, mapping, JitterOS,
-					cfg.Seed+int64(7000*pi+100*loadPct+r), avail)
-				errs = append(errs, errPct(stalePred, actual))
-				times = append(times, actual)
+			grid[li] = make([]float64, runs)
+		}
+		parfor.Do(cfg.jobs(), len(loads)*runs, func(i int) {
+			li, r := i/runs, i%runs
+			grid[li][r] = l.MeasureWithLoad(topo, prog, mapping, JitterOS,
+				cfg.Seed+int64(7000*pi+100*loads[li]+r), availByLoad[li])
+		})
+		for li, loadPct := range loads {
+			times := grid[li]
+			errs := make([]float64, runs)
+			for r, actual := range times {
+				errs[r] = errPct(stalePred, actual)
 			}
 			mean, ci := stats.MeanCI(errs)
 			res.Rows = append(res.Rows, Phase3Row{
@@ -71,13 +82,14 @@ func Phase3LoadSensitivity(l *Lab, cfg Config) *Phase3Result {
 		// formula itself handles known load.
 		avail := map[int]float64{mapping[3]: 0.7}
 		knownPred := predict(eval, mapping, snapshotWithLoad(topo, avail))
-		var errs []float64
-		var times []float64
-		for r := 0; r < runs; r++ {
-			actual := l.MeasureWithLoad(topo, prog, mapping, JitterOS,
+		times := make([]float64, runs)
+		parfor.Do(cfg.jobs(), runs, func(r int) {
+			times[r] = l.MeasureWithLoad(topo, prog, mapping, JitterOS,
 				cfg.Seed+int64(7000*pi+9000+r), avail)
-			errs = append(errs, errPct(knownPred, actual))
-			times = append(times, actual)
+		})
+		errs := make([]float64, runs)
+		for r, actual := range times {
+			errs[r] = errPct(knownPred, actual)
 		}
 		mean, ci := stats.MeanCI(errs)
 		res.Rows = append(res.Rows, Phase3Row{

@@ -17,6 +17,7 @@ package mpisim
 
 import (
 	"fmt"
+	"sync"
 
 	"cbes/internal/cluster"
 	"cbes/internal/des"
@@ -79,14 +80,51 @@ type World struct {
 	doneSig des.Signal
 }
 
-// message is an in-flight or buffered point-to-point message.
+// message is an in-flight or buffered point-to-point message. Consumed
+// messages are recycled through msgPool, so a *message is only valid while
+// it sits in an inbox.
 type message struct {
 	src, dst int
 	size     int64
+	peer     *Rank // receiving rank (for the pooled delivery callbacks)
 	// rendezvous bookkeeping
 	rendezvous bool
 	sender     *Rank // parked sender (rendezvous only)
-	arrived    bool  // payload fully delivered (eager only)
+	arrived    bool  // payload fully delivered
+}
+
+// msgPool recycles message records across sends, worlds, and trials. Sharing
+// it across engines is safe: messages carry no engine state once freed.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
+
+func allocMsg() *message { return msgPool.Get().(*message) }
+
+func freeMsg(m *message) {
+	m.peer, m.sender = nil, nil
+	m.rendezvous, m.arrived = false, false
+	msgPool.Put(m)
+}
+
+// eagerArrived fires when an eager payload reaches the receiver's node.
+func eagerArrived(a any) {
+	m := a.(*message)
+	m.arrived = true
+	m.peer.tryWake(m.src)
+}
+
+// rtsArrived fires when a rendezvous request-to-send reaches the receiver:
+// only then is the message announced in the inbox.
+func rtsArrived(a any) {
+	m := a.(*message)
+	m.peer.inbox[m.src] = append(m.peer.inbox[m.src], m)
+	m.peer.tryWake(m.src)
+}
+
+// payloadArrived fires when a pulled rendezvous payload completes.
+func payloadArrived(a any) {
+	m := a.(*message)
+	m.arrived = true
+	m.peer.tryWake(-2) // wake the dedicated wait in pullRendezvous
 }
 
 // Rank is one process of the application. Program bodies receive their Rank
@@ -100,8 +138,8 @@ type Rank struct {
 	rate float64
 	ai   cluster.ArchInfo
 
-	inbox   map[int][]*message // arrived/announced messages per source
-	waitSrc int                // source a pending Recv waits on, -1 if none
+	inbox   [][]*message // arrived/announced messages, indexed by source rank
+	waitSrc int          // source a pending Recv waits on, -1 if none
 }
 
 // Launch creates a world for body on the given mapping (rank -> node) and
@@ -146,7 +184,7 @@ func Launch(vc *vcluster.Cluster, net *simnet.Network, mapping []int, body func(
 			cpu:     vc.CPU(node),
 			rate:    n.Speed * eff,
 			ai:      vc.Topo.ArchInfo(n.Arch),
-			inbox:   map[int][]*message{},
+			inbox:   make([][]*message, len(mapping)),
 			waitSrc: -1,
 		}
 		w.ranks[i] = r
@@ -278,12 +316,11 @@ func (r *Rank) Send(dst int, size int64) {
 	r.w.rec.RecordRecv(dst, r.id, size)
 	r.overhead(r.ai.SendOverhead)
 
+	m := allocMsg()
+	m.src, m.dst, m.size, m.peer = r.id, dst, size, peer
+
 	if size <= r.w.opts.eager() {
-		m := &message{src: r.id, dst: dst, size: size}
-		r.w.net.Deliver(r.node, peer.node, size, func() {
-			m.arrived = true
-			peer.tryWake(r.id)
-		})
+		r.w.net.DeliverArg(r.node, peer.node, size, eagerArrived, m)
 		peer.inbox[r.id] = append(peer.inbox[r.id], m)
 		r.w.rec.SetState(r.id, trace.StateRun)
 		return
@@ -291,11 +328,9 @@ func (r *Rank) Send(dst int, size int64) {
 
 	// Rendezvous: announce with an RTS, then the receiver pulls the payload;
 	// the sender blocks until delivery completes.
-	m := &message{src: r.id, dst: dst, size: size, rendezvous: true, sender: r}
-	r.w.net.Deliver(r.node, peer.node, rtsSize, func() {
-		peer.inbox[r.id] = append(peer.inbox[r.id], m)
-		peer.tryWake(r.id)
-	})
+	m.rendezvous = true
+	m.sender = r
+	r.w.net.DeliverArg(r.node, peer.node, rtsSize, rtsArrived, m)
 	r.block() // woken by completeRendezvous
 	r.w.rec.SetState(r.id, trace.StateRun)
 }
@@ -322,15 +357,19 @@ func (r *Rank) Recv(src int) int64 {
 			if m.rendezvous {
 				r.inbox[src] = q[1:]
 				r.pullRendezvous(m)
+				size := m.size
+				freeMsg(m)
 				r.overhead(r.ai.RecvOverhead)
 				r.w.rec.SetState(r.id, trace.StateRun)
-				return m.size
+				return size
 			}
 			if m.arrived {
 				r.inbox[src] = q[1:]
+				size := m.size
+				freeMsg(m)
 				r.overhead(r.ai.RecvOverhead)
 				r.w.rec.SetState(r.id, trace.StateRun)
-				return m.size
+				return size
 			}
 		}
 		// Nothing consumable yet: wait for the next arrival from src.
@@ -343,12 +382,8 @@ func (r *Rank) Recv(src int) int64 {
 // message, blocking the receiver until delivery, then releasing the sender.
 func (r *Rank) pullRendezvous(m *message) {
 	sender := m.sender
-	done := false
-	r.w.net.Deliver(sender.node, r.node, m.size, func() {
-		done = true
-		r.tryWake(-2) // wake the dedicated wait below
-	})
-	for !done {
+	r.w.net.DeliverArg(sender.node, r.node, m.size, payloadArrived, m)
+	for !m.arrived {
 		r.waitSrc = -2
 		r.block()
 	}

@@ -1,0 +1,78 @@
+// Package parfor provides the bounded worker pool the experiment lab uses
+// to fan independent trials out across cores.
+//
+// The contract is built for deterministic parallelism: the caller draws any
+// random inputs serially (or derives per-trial seeds from the trial index),
+// pre-sizes an output slice, and each fn(i) writes only results[i]. Under
+// that discipline the output of Do is byte-identical to the serial loop
+// regardless of worker count or scheduling order, which is what lets the
+// experiment suite run `-jobs=1` and `-jobs=N` interchangeably.
+package parfor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(0..n-1) on at most `workers` goroutines and returns when all
+// calls have finished. workers <= 0 means one worker per core
+// (runtime.GOMAXPROCS); workers == 1 (or n <= 1) runs everything on the
+// calling goroutine, which is the reference serial order.
+//
+// Iterations are claimed from an atomic counter, so the pool load-balances
+// uneven trial costs. If any fn panics, the remaining workers stop claiming
+// new iterations and the first panic value is re-raised on the calling
+// goroutine once every worker has returned.
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next    atomic.Int64
+		aborted atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					mu.Unlock()
+					aborted.Store(true)
+				}
+			}()
+			for !aborted.Load() {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}

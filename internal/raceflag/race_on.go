@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag reports whether the binary was built with the race
+// detector. Timing-sensitive tests use it to skip throughput assertions
+// that the detector's instrumentation distorts (it penalizes code paths
+// unevenly, so ratios measured under -race are meaningless).
+package raceflag
+
+// Enabled is true when the race detector is compiled in.
+const Enabled = true

@@ -44,9 +44,33 @@ type Network struct {
 	eng   *des.Engine
 	topo  *cluster.Topology
 	links []linkState
+	// free recycles transfer records so a multi-hop message costs no
+	// allocations beyond its first traversal of the network.
+	free []*transfer
 	// stats
 	messages uint64
 	bytes    uint64
+}
+
+// transfer is one in-flight message traversing its route. Recycled via
+// Network.free once the final hop delivers.
+type transfer struct {
+	net  *Network
+	from cluster.Device
+	path []int
+	idx  int
+	size int64
+	done func()
+	// afn/arg is the allocation-lean completion form used by DeliverArg.
+	afn func(any)
+	arg any
+}
+
+// stepTransfer is the package-level hop callback used with des.ScheduleArg,
+// replacing the closure the engine would otherwise allocate per hop.
+func stepTransfer(a any) {
+	t := a.(*transfer)
+	t.net.hop(t)
 }
 
 // New creates a network simulator for topo.
@@ -90,20 +114,40 @@ func (n *Network) linkDirection(l *linkState, from cluster.Device) (direction, c
 // delivers after a fixed small memcpy-like delay. Must be called from
 // engine context.
 func (n *Network) Deliver(src, dst int, size int64, delivered func()) {
+	t := n.allocTransfer()
+	t.done = delivered
+	n.launch(t, src, dst, size)
+}
+
+// DeliverArg is Deliver with the completion callback split into a
+// (pre-existing) function plus one argument, so hot senders avoid a closure
+// allocation per message.
+func (n *Network) DeliverArg(src, dst int, size int64, fn func(any), arg any) {
+	t := n.allocTransfer()
+	t.afn, t.arg = fn, arg
+	n.launch(t, src, dst, size)
+}
+
+func (n *Network) allocTransfer() *transfer {
+	if k := len(n.free); k > 0 {
+		t := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return t
+	}
+	return &transfer{}
+}
+
+func (n *Network) launch(t *transfer, src, dst int, size int64) {
+	t.net, t.size, t.idx = n, size, 0
 	if src == dst {
-		n.eng.Schedule(loopbackLatency(size), func() {
-			n.messages++
-			n.bytes += uint64(size)
-			delivered()
-		})
+		t.path = nil
+		n.eng.ScheduleArg(loopbackLatency(size), stepTransfer, t)
 		return
 	}
-	path := n.topo.Path(src, dst)
-	n.hop(cluster.Device{Kind: cluster.DevNode, Index: src}, path, 0, size, func() {
-		n.messages++
-		n.bytes += uint64(size)
-		delivered()
-	})
+	t.from = cluster.Device{Kind: cluster.DevNode, Index: src}
+	t.path = n.topo.Path(src, dst)
+	n.hop(t)
 }
 
 // loopbackLatency models same-node (shared-memory) delivery.
@@ -112,26 +156,38 @@ func loopbackLatency(size int64) des.Time {
 	return 5*des.Microsecond + des.FromSeconds(float64(size)/400e6)
 }
 
-// hop advances the message across path[idx..].
-func (n *Network) hop(from cluster.Device, path []int, idx int, size int64, done func()) {
-	if idx >= len(path) {
-		done()
+// hop advances the transfer across its next link; when the route is
+// exhausted it counts the delivery, recycles the record, and invokes the
+// caller's callback.
+func (n *Network) hop(t *transfer) {
+	if t.idx >= len(t.path) {
+		n.messages++
+		n.bytes += uint64(t.size)
+		done, afn, arg := t.done, t.afn, t.arg
+		t.done, t.afn, t.arg = nil, nil, nil
+		t.net = nil
+		t.path = nil
+		n.free = append(n.free, t)
+		if done != nil {
+			done()
+		} else {
+			afn(arg)
+		}
 		return
 	}
-	l := &n.links[path[idx]]
-	dir, next := n.linkDirection(l, from)
-	now := n.eng.Now()
-	start := now
+	l := &n.links[t.path[t.idx]]
+	dir, next := n.linkDirection(l, t.from)
+	start := n.eng.Now()
 	if l.freeAt[dir] > start {
 		start = l.freeAt[dir]
 	}
-	tx := txTime(size, l.spec.Bandwidth)
+	tx := txTime(t.size, l.spec.Bandwidth)
 	l.freeAt[dir] = start + tx
 	l.busy[dir] += tx
 	arrive := start + tx + l.spec.Latency
-	n.eng.ScheduleAt(arrive, func() {
-		n.hop(next, path, idx+1, size, done)
-	})
+	t.from = next
+	t.idx++
+	n.eng.ScheduleArgAt(arrive, stepTransfer, t)
 }
 
 // EstimateNoLoad computes, without simulating, the no-contention traversal

@@ -26,12 +26,22 @@ const minAvailability = 0.02
 // (guards against floating-point dust when several tasks end together).
 const workEpsilon = 1e-9
 
-// cpuTask is one process burst executing on a CPU.
+// cpuTask is one process burst executing on a CPU. Finished tasks are
+// recycled through the CPU's free list, so a *cpuTask is only valid while it
+// sits in CPU.tasks.
 type cpuTask struct {
 	remaining float64 // reference-seconds of work left
 	rate      float64 // reference-seconds executed per dedicated-core second
 	proc      *des.Proc
+	cpu       *CPU   // owner, for the pooled completion callback
 	seq       uint64 // admission order; deterministic tie-break
+}
+
+// completeTask is the package-level completion callback: together with
+// des.ScheduleArg it replaces the per-reschedule closure allocation.
+func completeTask(a any) {
+	t := a.(*cpuTask)
+	t.cpu.complete(t)
 }
 
 // CPU models one node's processors as an egalitarian processor-sharing
@@ -42,10 +52,14 @@ type cpuTask struct {
 // availability a means every core has only fraction a left for application
 // tasks, exactly the quantity the paper's ACPU monitoring reports.
 type CPU struct {
-	eng        *des.Engine
-	node       *cluster.Node
-	avail      float64
-	tasks      map[*cpuTask]struct{}
+	eng   *des.Engine
+	node  *cluster.Node
+	avail float64
+	// tasks is kept in admission order: a slice (not a map) so that
+	// advance()'s floating-point accumulation visits tasks in a
+	// deterministic order and per-burst bookkeeping stays allocation-free.
+	tasks      []*cpuTask
+	freeTasks  []*cpuTask // recycled bursts
 	taskSeq    uint64
 	completion *des.Event
 	lastTouch  des.Time
@@ -55,7 +69,7 @@ type CPU struct {
 
 // NewCPU creates an idle CPU for the given node at full availability.
 func NewCPU(eng *des.Engine, node *cluster.Node) *CPU {
-	return &CPU{eng: eng, node: node, avail: 1.0, tasks: map[*cpuTask]struct{}{}, lastTouch: eng.Now()}
+	return &CPU{eng: eng, node: node, avail: 1.0, lastTouch: eng.Now()}
 }
 
 // Node returns the static description of the node this CPU belongs to.
@@ -116,7 +130,7 @@ func (c *CPU) advance() {
 		return
 	}
 	sh := c.share()
-	for t := range c.tasks {
+	for _, t := range c.tasks {
 		done := t.rate * sh * dt
 		if done > t.remaining {
 			done = t.remaining
@@ -139,7 +153,7 @@ func (c *CPU) reschedule() {
 	sh := c.share()
 	var next *cpuTask
 	eta := math.Inf(1)
-	for t := range c.tasks {
+	for _, t := range c.tasks {
 		e := t.remaining / (t.rate * sh)
 		if e < eta || (e == eta && (next == nil || t.seq < next.seq)) {
 			eta = e
@@ -149,7 +163,7 @@ func (c *CPU) reschedule() {
 	// Round the wake-up up by one tick: FromSeconds truncates, and an event
 	// that fires a hair early would make no progress and reschedule itself
 	// forever. advance() clamps the 1 ns overshoot to the remaining work.
-	c.completion = c.eng.Schedule(des.FromSeconds(eta)+1, func() { c.complete(next) })
+	c.completion = c.eng.ScheduleArg(des.FromSeconds(eta)+1, completeTask, next)
 }
 
 func (c *CPU) complete(t *cpuTask) {
@@ -161,9 +175,20 @@ func (c *CPU) complete(t *cpuTask) {
 		c.reschedule()
 		return
 	}
-	delete(c.tasks, t)
+	for i, x := range c.tasks {
+		if x == t {
+			copy(c.tasks[i:], c.tasks[i+1:])
+			c.tasks[len(c.tasks)-1] = nil
+			c.tasks = c.tasks[:len(c.tasks)-1]
+			break
+		}
+	}
 	c.reschedule()
-	t.proc.Unpark()
+	p := t.proc
+	t.proc = nil
+	t.cpu = nil
+	c.freeTasks = append(c.freeTasks, t)
+	p.Unpark()
 }
 
 // Compute blocks the calling process while it executes `work`
@@ -179,8 +204,16 @@ func (c *CPU) Compute(p *des.Proc, work, rate float64) {
 	}
 	c.advance()
 	c.taskSeq++
-	t := &cpuTask{remaining: work, rate: rate, proc: p, seq: c.taskSeq}
-	c.tasks[t] = struct{}{}
+	var t *cpuTask
+	if n := len(c.freeTasks); n > 0 {
+		t = c.freeTasks[n-1]
+		c.freeTasks[n-1] = nil
+		c.freeTasks = c.freeTasks[:n-1]
+	} else {
+		t = &cpuTask{}
+	}
+	t.remaining, t.rate, t.proc, t.cpu, t.seq = work, rate, p, c, c.taskSeq
+	c.tasks = append(c.tasks, t)
 	c.reschedule()
 	p.Park()
 }
