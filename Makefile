@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify ci bench bench-quick bench-compare obs-smoke fuzz
+.PHONY: build test verify ci bench bench-quick bench-compare obs-smoke faults-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ verify: build test
 # -race) without paying for steady-state timing.
 ci:
 	$(GO) vet ./...
+	$(MAKE) faults-smoke
 	$(GO) test -race -timeout 45m ./...
 	$(MAKE) bench-quick
 
@@ -48,6 +49,16 @@ bench-compare:
 # series in /metrics, and checks clean SIGTERM shutdown.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# Fast cross-layer fault gate: the fault-injection, health, degraded-mode,
+# and service-hardening tests across every affected package, in short mode
+# under the race detector. Quick signal before ci's full race suite.
+faults-smoke:
+	$(GO) test -short -race -timeout 10m \
+		-run 'Fault|Crash|Degrade|Sensor|Stall|Health|Stale|Down|Infeasible|Evacuat|NoNoise|Busy|Panic|Retr|Drain|Soak|MaxClients|Probe|Readyz|Injector|RandomSchedule' \
+		./internal/faults/ ./internal/vcluster/ ./internal/simnet/ \
+		./internal/monitor/ ./internal/core/ ./internal/schedule/ \
+		./internal/remap/ ./internal/service/ ./internal/obs/
 
 # Short fuzz pass over the delta-evaluation invariants.
 fuzz:

@@ -30,6 +30,7 @@ import (
 	"cbes/internal/cluster"
 	"cbes/internal/core"
 	"cbes/internal/des"
+	"cbes/internal/faults"
 	"cbes/internal/monitor"
 	"cbes/internal/mpisim"
 	"cbes/internal/netmodel"
@@ -71,6 +72,7 @@ type System struct {
 	cfg      Config
 	profiles map[string]*profile.Profile
 	evals    map[string]*core.Evaluator
+	faults   *faults.Injector
 }
 
 // NewSystem animates the topology and starts the monitoring infrastructure.
@@ -244,6 +246,15 @@ func (s *System) Launch(prog workloads.Program, mapping core.Mapping) *mpisim.Wo
 // Advance runs the simulation for d of simulated time (monitors sample,
 // background load evolves, running applications progress).
 func (s *System) Advance(d des.Time) { s.Eng.RunUntil(s.Eng.Now() + d) }
+
+// Faults returns the system's fault injector (created on first use), for
+// arming deterministic failure scenarios against the simulated cluster.
+func (s *System) Faults() *faults.Injector {
+	if s.faults == nil {
+		s.faults = faults.NewInjector(s.VC, s.Net, s.Monitor)
+	}
+	return s.faults
+}
 
 // Pool returns the node IDs of the given architectures (in ID order), a
 // convenience for building administrative pools.

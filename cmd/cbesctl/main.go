@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cbesctl [-addr 127.0.0.1:7411] status
+//	cbesctl [-addr 127.0.0.1:7411] [-timeout 5s] [-retries 3] status
 //	cbesctl [-addr ...] evaluate -app lu.B.8 -mapping 0,1,2,3,4,5,6,7
 //	cbesctl [-addr ...] compare  -app lu.B.8 -mapping 0,1,2,3,4,5,6,7 -mapping 20,21,...
 //	cbesctl [-addr ...] schedule -app lu.B.8 -alg cs -pool 0-7,10-21 [-seed 1]
@@ -69,6 +69,8 @@ func parseIDList(s string) ([]int, error) {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "cbesd address")
+	timeout := flag.Duration("timeout", service.DefaultDialTimeout, "connection timeout")
+	retries := flag.Int("retries", 3, "retries for transient failures on idempotent commands (-1 disables)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
@@ -89,11 +91,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	c, err := service.Dial(*addr)
+	c, err := service.DialTimeout(*addr, *timeout)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
+	if *retries <= 0 {
+		*retries = -1 // 0 or negative both mean "no retries"
+	}
+	c.SetRetryPolicy(service.RetryPolicy{Max: *retries})
 
 	switch verb {
 	case "status":

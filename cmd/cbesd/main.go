@@ -7,16 +7,25 @@
 //
 //	cbesd [-listen 127.0.0.1:7411] [-cluster grove|centurion|test] [-db ./cbesdb]
 //	      [-apps lu.B.8,aztec.8,...] [-debug-listen 127.0.0.1:7412]
-//	      [-span-log spans.jsonl]
+//	      [-span-log spans.jsonl] [-max-clients 64] [-drain-timeout 5s]
+//	      [-request-timeout 30s] [-fault-crashes N] [-fault-degrades N]
+//	      [-fault-drops N] [-fault-stalls N] [-fault-seed S] [-fault-horizon 5m]
 //
 // With -debug-listen set, the daemon also serves an HTTP observability
 // endpoint: /metrics (Prometheus text exposition), /debug/vars (expvar
-// JSON), /debug/spans (recent traced spans), /healthz, and the standard
-// /debug/pprof profiles. The same metrics are available over RPC via
-// `cbesctl metrics`, so the control plane can scrape without HTTP.
+// JSON), /debug/spans (recent traced spans), /healthz (liveness), /readyz
+// (readiness — 503 while the monitored cluster has down nodes), and the
+// standard /debug/pprof profiles. The same metrics are available over RPC
+// via `cbesctl metrics`, so the control plane can scrape without HTTP.
+//
+// The -fault-* flags arm a deterministic seeded fault schedule against the
+// simulated cluster (node crashes, link degradations, sensor dropouts,
+// monitor stalls — each paired with its recovery) for exercising
+// degraded-mode behaviour end to end.
 //
 // SIGINT/SIGTERM shut the daemon down cleanly: the listeners close, the
-// RPC loop drains, and the simulation engine is reaped.
+// RPC loop drains in-flight requests (bounded by -drain-timeout), and the
+// simulation engine is reaped.
 //
 // Use cbesctl to query the daemon.
 package main
@@ -38,6 +47,9 @@ import (
 	"cbes/internal/bench"
 	"cbes/internal/cluster"
 	"cbes/internal/db"
+	"cbes/internal/des"
+	"cbes/internal/faults"
+	"cbes/internal/monitor"
 	"cbes/internal/obs"
 	"cbes/internal/service"
 	"cbes/internal/workloads"
@@ -54,11 +66,20 @@ func main() {
 // log.Fatal in main would skip them.
 func run() error {
 	listen := flag.String("listen", "127.0.0.1:7411", "address to serve RPC on")
-	debugListen := flag.String("debug-listen", "", "address for the HTTP debug endpoint (/metrics, /healthz, pprof); empty disables")
+	debugListen := flag.String("debug-listen", "", "address for the HTTP debug endpoint (/metrics, /healthz, /readyz, pprof); empty disables")
 	spanLog := flag.String("span-log", "", "append traced spans as JSONL to this file; empty disables")
 	clusterName := flag.String("cluster", "grove", "testbed: grove, centurion, or test (small 8-node topology)")
 	dbDir := flag.String("db", "./cbesdb", "CBES database directory (models/profiles cache)")
 	apps := flag.String("apps", "lu.B.8,aztec.8,hpl.5000.8", "comma-separated application models to profile")
+	maxClients := flag.Int("max-clients", 64, "maximum concurrently served RPC connections")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "shutdown budget for draining in-flight requests")
+	requestTimeout := flag.Duration("request-timeout", service.DefaultRequestTimeout, "per-request engine-lock queueing bound (busy error on expiry)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the injected fault schedule")
+	faultCrashes := flag.Int("fault-crashes", 0, "node crash/recover pairs to inject (0 disables)")
+	faultDegrades := flag.Int("fault-degrades", 0, "link degrade/restore pairs to inject")
+	faultDrops := flag.Int("fault-drops", 0, "sensor drop/restore pairs to inject")
+	faultStalls := flag.Int("fault-stalls", 0, "monitor stalls to inject")
+	faultHorizon := flag.Duration("fault-horizon", 5*time.Minute, "simulated-time window the fault schedule spans")
 	flag.Parse()
 
 	var topo *cluster.Topology
@@ -132,6 +153,26 @@ func run() error {
 		}
 	}
 
+	// Optional deterministic fault injection against the simulated cluster:
+	// a seeded schedule of crashes, link degradations, sensor dropouts, and
+	// monitor stalls (each disruption paired with its recovery) for
+	// exercising degraded-mode behaviour end to end.
+	if *faultCrashes > 0 || *faultDegrades > 0 || *faultDrops > 0 || *faultStalls > 0 {
+		sched := faults.RandomSchedule(topo, faults.RandomConfig{
+			Seed:        *faultSeed,
+			Horizon:     des.FromSeconds(faultHorizon.Seconds()),
+			Crashes:     *faultCrashes,
+			Degrades:    *faultDegrades,
+			SensorDrops: *faultDrops,
+			Stalls:      *faultStalls,
+		})
+		if err := sys.Faults().Install(sched); err != nil {
+			return err
+		}
+		log.Printf("cbesd: armed %d-event fault schedule (seed %d, horizon %v)",
+			len(sched), *faultSeed, *faultHorizon)
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -145,14 +186,14 @@ func run() error {
 			l.Close()
 			return err
 		}
-		ready := &readiness{sys: sys}
-		debugSrv = &http.Server{Handler: obs.DebugMux(obs.Default(), obs.DefaultTracer(), ready.check)}
+		probes := &probes{sys: sys}
+		debugSrv = &http.Server{Handler: obs.DebugMux(obs.Default(), obs.DefaultTracer(), probes.live, probes.ready)}
 		go func() {
 			if err := debugSrv.Serve(dl); err != nil && err != http.ErrServerClosed {
 				log.Printf("cbesd: debug endpoint: %v", err)
 			}
 		}()
-		log.Printf("cbesd: debug endpoint on http://%s (/metrics /debug/vars /debug/spans /healthz /debug/pprof)", dl.Addr())
+		log.Printf("cbesd: debug endpoint on http://%s (/metrics /debug/vars /debug/spans /healthz /readyz /debug/pprof)", dl.Addr())
 	}
 
 	fmt.Printf("cbesd: serving %s (%d nodes) on %s, apps: %s\n",
@@ -162,7 +203,13 @@ func run() error {
 	// Closing the listener makes Serve return nil (the clean-exit
 	// contract), after which the deferred sys.Close reaps the engine.
 	errc := make(chan error, 1)
-	go func() { errc <- service.Serve(sys, l) }()
+	go func() {
+		errc <- service.ServeWith(sys, l, service.ServeOptions{
+			MaxClients:     *maxClients,
+			DrainTimeout:   *drainTimeout,
+			RequestTimeout: *requestTimeout,
+		})
+	}()
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -180,16 +227,33 @@ func run() error {
 	return err
 }
 
-// readiness gates /healthz: the endpoint only starts once boot finished,
-// so reporting healthy whenever at least one application is registered
-// (or none were requested) is the honest liveness signal.
-type readiness struct {
+// probes backs /healthz (liveness) and /readyz (readiness). Liveness is
+// "the process can serve at all": boot completed, model installed —
+// restart the daemon if this fails. Readiness is "route traffic here right
+// now": live AND the monitored cluster has no down nodes, so a degraded
+// cluster takes the daemon out of rotation (load balancers stop sending
+// new work) without killing it — it keeps answering in-flight and
+// diagnostic requests, serving degraded-flagged predictions.
+type probes struct {
 	sys *cbes.System
 }
 
-func (r *readiness) check() error {
-	if r.sys.Model == nil {
+func (p *probes) live() error {
+	if p.sys.Model == nil {
 		return fmt.Errorf("not calibrated")
+	}
+	return nil
+}
+
+func (p *probes) ready() error {
+	if err := p.live(); err != nil {
+		return err
+	}
+	// LastHealthGauges reads atomics published at Snapshot time — no
+	// engine lock, so the probe cannot race RPC handlers or block behind
+	// a long-running Schedule.
+	if down, suspect := monitor.LastHealthGauges(); down > 0 {
+		return fmt.Errorf("degraded: %d nodes down, %d suspect", down, suspect)
 	}
 	return nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|phase1|fig5|phase3|fig6|table1|table2|fig7|table3|table4|headline|ablations]
+//	experiments [-run all|phase1|fig5|phase3|fig6|table1|table2|fig7|table3|table4|headline|ablations|faulttol]
 //	            [-scale 0.25] [-seed 42] [-jobs 0] [-v]
 //
 // -scale 1.0 reproduces paper-sized case counts (slow); the default runs a
@@ -104,6 +104,11 @@ func main() {
 			return r.Render()
 		}},
 		{"ablations", func() string { return experiments.Ablations(lab, cfg).Render() }},
+		{"faulttol", func() string {
+			r := experiments.FaultTolerance(lab, cfg)
+			keep(r)
+			return r.Render()
+		}},
 	}
 
 	ran := 0

@@ -18,9 +18,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +32,46 @@ import (
 	"cbes/internal/netmodel"
 	"cbes/internal/profile"
 )
+
+// ErrNodeDown reports a mapping that places a rank on a node whose
+// snapshot health is HealthDown. Callers match it with errors.Is; the
+// wrapped message names the rank and node.
+var ErrNodeDown = errors.New("node down")
+
+// checkNodesUp returns a wrapped ErrNodeDown if any rank of m sits on a
+// down node of snap, and whether any mapped node's data is stale
+// (HealthSuspect) — the degraded-prediction trigger.
+func checkNodesUp(m Mapping, snap *monitor.Snapshot) (anyStale bool, err error) {
+	if snap.Health == nil {
+		return false, nil
+	}
+	for r, n := range m {
+		switch snap.HealthOf(n) {
+		case monitor.HealthDown:
+			metricNodeDownErrors.Inc()
+			return false, fmt.Errorf("core: rank %d mapped to node %d: %w", r, n, ErrNodeDown)
+		case monitor.HealthSuspect:
+			anyStale = true
+		}
+	}
+	return anyStale, nil
+}
+
+// degradedSnapshot substitutes profile-only fallback values for every
+// stale (HealthSuspect) node of snap: nominal CPU availability and an idle
+// NIC, i.e. the prediction degrades to what the profile alone supports
+// rather than trusting forecasts past their TTL. The input is not
+// modified.
+func degradedSnapshot(snap *monitor.Snapshot) *monitor.Snapshot {
+	c := snap.Clone()
+	for i, h := range c.Health {
+		if h == monitor.HealthSuspect {
+			c.AvailCPU[i] = 1.0
+			c.NICUtil[i] = 0.0
+		}
+	}
+	return c
+}
 
 // Mapping assigns each application rank (index) to a cluster node (value) —
 // the set of (task, node) pairs of eq. 3.
@@ -96,6 +138,13 @@ type Prediction struct {
 	Mapping  Mapping
 	Seconds  float64 // Σ over segments of S_M
 	Segments []SegmentEstimate
+	// Degraded reports that at least one mapped node's monitoring data was
+	// stale, so its terms used profile-only fallback values (nominal CPU
+	// availability, idle NIC) instead of forecasts.
+	Degraded bool
+	// StaleNodes lists the mapped nodes that triggered the fallback, in
+	// ascending node order.
+	StaleNodes []int
 }
 
 // Evaluator predicts execution times for mappings of one profiled
@@ -150,8 +199,26 @@ func (e *Evaluator) Predict(m Mapping, snap *monitor.Snapshot) (*Prediction, err
 	if err := m.Validate(e.Topo); err != nil {
 		return nil, err
 	}
+	anyStale, err := checkNodesUp(m, snap)
+	if err != nil {
+		return nil, err
+	}
 	mult := m.Multiplicity()
 	pred := &Prediction{Mapping: m.Clone()}
+	if anyStale {
+		// Degraded mode: evaluate against the profile-only fallback view.
+		snap = degradedSnapshot(snap)
+		pred.Degraded = true
+		seen := map[int]bool{}
+		for _, n := range m {
+			if !seen[n] && snap.HealthOf(n) == monitor.HealthSuspect {
+				seen[n] = true
+				pred.StaleNodes = append(pred.StaleNodes, n)
+			}
+		}
+		sort.Ints(pred.StaleNodes)
+		metricDegradedPredicts.Inc()
+	}
 	for _, seg := range e.Prof.Segments {
 		se := SegmentEstimate{Name: seg.Name, Critical: -1}
 		for i := range seg.Procs {

@@ -174,6 +174,12 @@ type Scorer struct {
 	e    *Evaluator
 	ix   *fastIndex
 	snap *monitor.Snapshot
+	// avail/nic are the effective per-node resource views: the snapshot's
+	// forecasts with profile-only fallback values substituted for stale
+	// (HealthSuspect) nodes — the same degraded-mode rule Predict applies,
+	// so the fast path stays bit-identical to the full evaluation.
+	avail []float64
+	nic   []float64
 
 	m      Mapping   // current mapping (owned)
 	mult   []int     // ranks per node
@@ -202,11 +208,28 @@ func (e *Evaluator) Scorer() *Scorer {
 		ix:        ix,
 		m:         make(Mapping, e.Prof.Ranks),
 		mult:      make([]int, ix.nodes),
+		avail:     make([]float64, ix.nodes),
+		nic:       make([]float64, ix.nodes),
 		r:         make([]float64, len(ix.flat)),
 		c:         make([]float64, len(ix.flat)),
 		segMax:    make([]float64, len(ix.segOff)-1),
 		seenEntry: make([]uint32, len(ix.flat)),
 		seenSeg:   make([]uint32, len(ix.segOff)-1),
+	}
+}
+
+// loadSnapshot fills the scorer's effective resource views from snap,
+// applying the degraded-mode substitution for stale nodes (cf.
+// degradedSnapshot). O(nodes), allocation-free.
+func (s *Scorer) loadSnapshot(snap *monitor.Snapshot) {
+	s.snap = snap
+	copy(s.avail, snap.AvailCPU)
+	copy(s.nic, snap.NICUtil)
+	for i, h := range snap.Health {
+		if h == monitor.HealthSuspect {
+			s.avail[i] = 1.0
+			s.nic[i] = 0.0
+		}
 	}
 }
 
@@ -221,7 +244,10 @@ func (s *Scorer) Energy(m Mapping, snap *monitor.Snapshot) (float64, error) {
 	if err := m.Validate(s.e.Topo); err != nil {
 		return 0, err
 	}
-	s.snap = snap
+	if _, err := checkNodesUp(m, snap); err != nil {
+		return 0, err
+	}
+	s.loadSnapshot(snap)
 	copy(s.m, m)
 	for i := range s.mult {
 		s.mult[i] = 0
@@ -453,7 +479,7 @@ func (s *Scorer) computeR(f int32) float64 {
 	pp := s.ix.flat[f]
 	node := s.m[pp.Rank]
 	speed := s.ix.speed[node]
-	acpu := s.snap.AvailCPU[node]
+	acpu := s.avail[node]
 	if co := s.mult[node]; co > 1 {
 		share := float64(s.ix.cpus[node]) / float64(co)
 		if share < 1 {
@@ -493,8 +519,7 @@ func (s *Scorer) latency(src, dst int, size int64) float64 {
 		// Same failure mode as Model.Latency on an uncalibrated pair.
 		panic(fmt.Sprintf("netmodel: no calibration for pair (%d,%d)", src, dst))
 	}
-	return c.Latency(size, s.snap.AvailCPU[src], s.snap.AvailCPU[dst],
-		s.snap.NICUtil[src], s.snap.NICUtil[dst])
+	return c.Latency(size, s.avail[src], s.avail[dst], s.nic[src], s.nic[dst])
 }
 
 // Energy is the allocation-free counterpart of Predict(m, snap).Seconds:

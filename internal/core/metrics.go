@@ -33,4 +33,12 @@ var (
 	// Evaluator construction (index precomputation).
 	metricEvaluators = obs.Default().Counter(
 		"cbes_core_evaluators_built_total", "Evaluator fast-path indexes built.")
+
+	// Degraded-mode prediction (fault handling).
+	metricDegradedPredicts = obs.Default().Counter(
+		"cbes_core_predict_degraded_total",
+		"Predictions that fell back to profile-only values for stale nodes.")
+	metricNodeDownErrors = obs.Default().Counter(
+		"cbes_core_node_down_errors_total",
+		"Evaluations rejected because the mapping placed a rank on a down node.")
 )

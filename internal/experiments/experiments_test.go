@@ -292,3 +292,37 @@ func TestHeadlineShapes(t *testing.T) {
 		t.Fatal("max speedup must exceed average speedup")
 	}
 }
+
+func TestFaultToleranceShapes(t *testing.T) {
+	l := lab(t)
+	res := FaultTolerance(l, tinyCfg())
+	if len(res.Steps) < 6 {
+		t.Fatalf("steps = %d, want >= 6", len(res.Steps))
+	}
+	// The schedule must have disturbed the cluster in view of the monitor.
+	sawDown := false
+	for _, s := range res.Steps {
+		if s.Down > 0 {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatal("no observation step saw a down node")
+	}
+	// The targeted crash hits the running application's mapping: the
+	// advisor must have evacuated at least once.
+	if res.Evacuations < 1 {
+		t.Fatalf("evacuations = %d, want >= 1", res.Evacuations)
+	}
+	if res.TotalFaults < 4 {
+		t.Fatalf("only %d faults fired", res.TotalFaults)
+	}
+	// CS picks near-best healthy mappings; random selection pays for it.
+	if res.MeanRSPenaltyPct <= 0 {
+		t.Fatalf("mean RS penalty %.1f%%, want > 0", res.MeanRSPenaltyPct)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "evacuate") || !strings.Contains(out, "faults injected") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}

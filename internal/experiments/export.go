@@ -142,6 +142,19 @@ func (r *HeadlineResult) WriteCSV(dir string) error {
 	return writeCSV(filepath.Join(dir, "headline.csv"), []string{"metric", "value"}, rows)
 }
 
+// WriteCSV dumps the fault-tolerance timeline.
+func (r *FaultTolResult) WriteCSV(dir string) error {
+	var rows [][]string
+	for _, s := range r.Steps {
+		rows = append(rows, []string{f(s.TimeSec), strconv.Itoa(s.Down), strconv.Itoa(s.Suspect),
+			strconv.Itoa(s.Injected), f(s.CSPred), f(s.RSPred), f(s.RSPenaltyPct),
+			strconv.FormatBool(s.CSDegraded), s.Advice})
+	}
+	return writeCSV(filepath.Join(dir, "faulttol.csv"),
+		[]string{"t_s", "down", "suspect", "faults_injected", "cs_pred_s", "rs_pred_s",
+			"rs_penalty_pct", "cs_degraded", "advice"}, rows)
+}
+
 // CSVWriter is implemented by every experiment result.
 type CSVWriter interface {
 	WriteCSV(dir string) error

@@ -23,8 +23,9 @@ func TestCSVExport(t *testing.T) {
 	t3 := &Table3Result{Rows: []Table3Row{{Case: "aztec.8", SpeedupPct: 10.1}}}
 	t4 := &Table4Result{Rows: []Table4Row{{Case: "aztec.8", Scheduler: "NCS", Runs: 4}}}
 	hl := &HeadlineResult{GroveSpreadPct: 54}
+	ft := &FaultTolResult{Steps: []FaultTolStep{{TimeSec: 40, Advice: "stay"}, {TimeSec: 80, Down: 1, Advice: "evacuate"}}}
 
-	if err := ExportAll(dir, p1, f5, p3, f6, t1, t2, f7, t3, t4, hl, nil); err != nil {
+	if err := ExportAll(dir, p1, f5, p3, f6, t1, t2, f7, t3, t4, hl, ft, nil); err != nil {
 		t.Fatal(err)
 	}
 	wantRows := map[string]int{
@@ -38,6 +39,7 @@ func TestCSVExport(t *testing.T) {
 		"table3.csv":        1,
 		"table4.csv":        1,
 		"headline.csv":      6,
+		"faulttol.csv":      2,
 	}
 	for name, want := range wantRows {
 		f, err := os.Open(filepath.Join(dir, name))

@@ -22,7 +22,42 @@ var (
 	gaugeSnapshotAge = obs.Default().Gauge(
 		"cbes_monitor_snapshot_age_seconds",
 		"Simulated age of the sensor data behind the most recent snapshot.")
+	gaugeNodesDown = obs.Default().Gauge(
+		"cbes_monitor_nodes_down",
+		"Nodes marked down (crashed or dead sensor) in the most recent snapshot.")
+	gaugeNodesSuspect = obs.Default().Gauge(
+		"cbes_monitor_nodes_suspect",
+		"Nodes marked suspect (stale sensor data) in the most recent snapshot.")
 )
+
+// Health classifies a node's monitoring state in a snapshot.
+type Health int8
+
+// Node health states, ordered by severity.
+const (
+	// HealthOK: fresh sensor data, node reachable.
+	HealthOK Health = iota
+	// HealthSuspect: the node answered once, but its last successful sample
+	// is older than the staleness TTL (stalled daemon, missed rounds). Its
+	// forecasts are not trustworthy; consumers fall back to profile-only
+	// estimates and flag the result degraded.
+	HealthSuspect
+	// HealthDown: the sensor is dead or its last sample found the node
+	// unreachable (crashed). The node must not receive work.
+	HealthDown
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthSuspect:
+		return "suspect"
+	case HealthDown:
+		return "down"
+	}
+	return "unknown"
+}
 
 // Snapshot is an on-demand picture of cluster resource availability — the
 // input the CBES core combines with profiles and mapping definitions. One
@@ -31,18 +66,62 @@ type Snapshot struct {
 	At       des.Time
 	AvailCPU []float64 // forecast CPU availability a new task would see (ACPU_j)
 	NICUtil  []float64 // forecast utilization of the node's edge link [0,1)
+	// Health classifies each node's monitoring state. A nil slice (older
+	// callers, synthetic snapshots) means every node is healthy — use
+	// HealthOf rather than indexing directly.
+	Health []Health
+	// SampleAge is the simulated seconds since each node's last successful
+	// sensor sample. Nil means fresh everywhere; use AgeOf.
+	SampleAge []float64
 }
 
 // Clone deep-copies the snapshot.
 func (s *Snapshot) Clone() *Snapshot {
 	return &Snapshot{
-		At:       s.At,
-		AvailCPU: append([]float64(nil), s.AvailCPU...),
-		NICUtil:  append([]float64(nil), s.NICUtil...),
+		At:        s.At,
+		AvailCPU:  append([]float64(nil), s.AvailCPU...),
+		NICUtil:   append([]float64(nil), s.NICUtil...),
+		Health:    append([]Health(nil), s.Health...),
+		SampleAge: append([]float64(nil), s.SampleAge...),
 	}
 }
 
-// IdleSnapshot returns the snapshot of a perfectly idle n-node cluster.
+// HealthOf reports node i's health, treating missing health data (synthetic
+// or pre-health snapshots) as healthy.
+func (s *Snapshot) HealthOf(i int) Health {
+	if i < 0 || i >= len(s.Health) {
+		return HealthOK
+	}
+	return s.Health[i]
+}
+
+// AgeOf reports the sample age of node i in simulated seconds (0 when the
+// snapshot carries no staleness data).
+func (s *Snapshot) AgeOf(i int) float64 {
+	if i < 0 || i >= len(s.SampleAge) {
+		return 0
+	}
+	return s.SampleAge[i]
+}
+
+// HealthCounts tallies the snapshot's node health states.
+func (s *Snapshot) HealthCounts() (ok, suspect, down int) {
+	ok = len(s.AvailCPU)
+	for _, h := range s.Health {
+		switch h {
+		case HealthSuspect:
+			suspect++
+			ok--
+		case HealthDown:
+			down++
+			ok--
+		}
+	}
+	return ok, suspect, down
+}
+
+// IdleSnapshot returns the snapshot of a perfectly idle, healthy n-node
+// cluster.
 func IdleSnapshot(n int) *Snapshot {
 	s := &Snapshot{AvailCPU: make([]float64, n), NICUtil: make([]float64, n)}
 	for i := range s.AvailCPU {
@@ -64,16 +143,24 @@ const (
 	StyleNWS
 )
 
+// NoNoise requests exactly noiseless sensors. The zero Config value keeps
+// the 0.01 default, so "no noise at all" needs an explicit sentinel (any
+// negative Noise works; this constant is the documented spelling).
+const NoNoise = -1.0
+
 // Config tunes a SystemMonitor.
 type Config struct {
 	Style    Style
 	Interval des.Time // sampling period (default 1 s)
 	// Noise is the relative standard deviation of sensor measurement error
 	// (default 0.01). Sensors on real systems never read ground truth
-	// exactly.
+	// exactly. Set NoNoise (or any negative value) for noiseless sensors.
 	Noise float64
 	// Seed drives the sensor noise generator.
 	Seed int64
+	// StaleTTL is how old a node's last successful sample may grow before
+	// the node is marked HealthSuspect (default 3 sampling intervals).
+	StaleTTL des.Time
 }
 
 func (c Config) interval() des.Time {
@@ -84,10 +171,20 @@ func (c Config) interval() des.Time {
 }
 
 func (c Config) noise() float64 {
+	if c.Noise < 0 { // NoNoise sentinel: truly noiseless sensors
+		return 0
+	}
 	if c.Noise > 0 {
 		return c.Noise
 	}
 	return 0.01
+}
+
+func (c Config) staleTTL() des.Time {
+	if c.StaleTTL > 0 {
+		return c.StaleTTL
+	}
+	return 3 * c.interval()
 }
 
 // SystemMonitor owns the per-node sensors and daemons. It is the
@@ -107,6 +204,18 @@ type SystemMonitor struct {
 	// lastSample is the simulated time of the most recent sampling round;
 	// Snapshot reports the forecast age relative to it.
 	lastSample des.Time
+	// lastUpdate is the per-node time of the last successful sensor sample
+	// (skipped by dead sensors, stalls, and unreachable nodes); Snapshot
+	// derives staleness from it.
+	lastUpdate []des.Time
+	// sensorDown marks nodes whose sensor daemon has died (fault
+	// injection): no readings at all until restored.
+	sensorDown []bool
+	// unreachable marks nodes whose last sample attempt found them crashed.
+	unreachable []bool
+	// stalledUntil pauses the whole monitoring daemon (a wedged collector):
+	// sampling rounds before this time are skipped entirely.
+	stalledUntil des.Time
 }
 
 // NewSystemMonitor attaches sensors to every node of the virtual cluster
@@ -114,13 +223,16 @@ type SystemMonitor struct {
 func NewSystemMonitor(vc *vcluster.Cluster, net *simnet.Network, cfg Config) *SystemMonitor {
 	n := vc.Topo.NumNodes()
 	m := &SystemMonitor{
-		vc:       vc,
-		net:      net,
-		cfg:      cfg,
-		cpuF:     make([]Forecaster, n),
-		nicF:     make([]Forecaster, n),
-		lastBusy: make([]des.Time, n),
-		edge:     make([]int, n),
+		vc:          vc,
+		net:         net,
+		cfg:         cfg,
+		cpuF:        make([]Forecaster, n),
+		nicF:        make([]Forecaster, n),
+		lastBusy:    make([]des.Time, n),
+		edge:        make([]int, n),
+		lastUpdate:  make([]des.Time, n),
+		sensorDown:  make([]bool, n),
+		unreachable: make([]bool, n),
 	}
 	for i := 0; i < n; i++ {
 		m.edge[i] = net.EdgeLink(i)
@@ -147,10 +259,30 @@ func NewSystemMonitor(vc *vcluster.Cluster, net *simnet.Network, cfg Config) *Sy
 	return m
 }
 
-// sample reads every node's sensors once.
+// sample reads every node's sensors once. Dead sensors are skipped
+// (their nodes' data ages until restored), a stalled daemon skips the
+// whole round, and a crashed node is recorded as unreachable instead of
+// producing a reading.
 func (m *SystemMonitor) sample(rng *rand.Rand) {
+	now := m.vc.Eng.Now()
+	if now < m.stalledUntil {
+		return // wedged collector: no sensor reads this round
+	}
 	window := m.cfg.interval().Seconds()
+	refreshed := 0
 	for i := range m.cpuF {
+		if m.sensorDown[i] {
+			continue // dead sensor daemon: no reading, lastUpdate frozen
+		}
+		if m.vc.CPU(i).Down() {
+			// The sensor answered but found the node crashed: record
+			// unreachability rather than feeding a zero into the forecaster
+			// (the pre-crash history stays intact for the recovery).
+			m.unreachable[i] = true
+			continue
+		}
+		m.unreachable[i] = false
+
 		// CPU sensor: what share would a new process get right now.
 		truth := m.vc.CPU(i).AvailableToNewTask()
 		v := truth * (1 + m.cfg.noise()*rng.NormFloat64())
@@ -174,11 +306,13 @@ func (m *SystemMonitor) sample(rng *rand.Rand) {
 			du = 1
 		}
 		m.nicF[i].Update(du)
+		m.lastUpdate[i] = now
+		refreshed++
 	}
 	m.samples++
-	m.lastSample = m.vc.Eng.Now()
+	m.lastSample = now
 	metricSamples.Inc()
-	metricRefreshes.Add(uint64(2 * len(m.cpuF)))
+	metricRefreshes.Add(uint64(2 * refreshed))
 }
 
 // Samples reports how many sampling rounds have completed.
@@ -188,18 +322,69 @@ func (m *SystemMonitor) Samples() uint64 { return m.samples }
 // context only after the engine has stopped, or from engine context.
 func (m *SystemMonitor) Stop() { m.daemon.Kill() }
 
+// DropSensor kills node i's sensor daemon (fault injection): the node
+// produces no further readings and its snapshot health becomes
+// HealthDown until RestoreSensor. Must be called from engine context.
+func (m *SystemMonitor) DropSensor(i int) { m.sensorDown[i] = true }
+
+// RestoreSensor revives node i's sensor daemon; the next sampling round
+// refreshes its data. Must be called from engine context.
+func (m *SystemMonitor) RestoreSensor(i int) { m.sensorDown[i] = false }
+
+// StallFor wedges the whole monitoring daemon for d of simulated time:
+// sampling rounds in the window are skipped, so every node's data ages
+// (and, past the TTL, goes HealthSuspect). Must be called from engine
+// context.
+func (m *SystemMonitor) StallFor(d des.Time) {
+	until := m.vc.Eng.Now() + d
+	if until > m.stalledUntil {
+		m.stalledUntil = until
+	}
+}
+
 // Snapshot assembles the current cluster-wide forecast. The cost is O(N)
 // in the number of nodes: this, combined with the path-class latency model
 // (internal/netmodel), is the paper's O(N) approximation of cluster
 // resource availability.
 func (m *SystemMonitor) Snapshot() *Snapshot {
 	n := len(m.cpuF)
-	s := &Snapshot{At: m.vc.Eng.Now(), AvailCPU: make([]float64, n), NICUtil: make([]float64, n)}
+	s := &Snapshot{
+		At:        m.vc.Eng.Now(),
+		AvailCPU:  make([]float64, n),
+		NICUtil:   make([]float64, n),
+		Health:    make([]Health, n),
+		SampleAge: make([]float64, n),
+	}
+	ttl := m.cfg.staleTTL()
+	suspect, down := 0, 0
 	for i := 0; i < n; i++ {
 		s.AvailCPU[i] = m.cpuF[i].Forecast()
 		s.NICUtil[i] = m.nicF[i].Forecast()
+		age := s.At - m.lastUpdate[i]
+		s.SampleAge[i] = age.Seconds()
+		switch {
+		case m.sensorDown[i] || m.unreachable[i]:
+			// Dead sensor or crashed node: the node must not receive work.
+			// Zero availability keeps even health-blind consumers away.
+			s.Health[i] = HealthDown
+			s.AvailCPU[i] = 0
+			down++
+		case age > ttl:
+			s.Health[i] = HealthSuspect
+			suspect++
+		}
 	}
 	metricSnapshots.Inc()
 	gaugeSnapshotAge.Set((s.At - m.lastSample).Seconds())
+	gaugeNodesDown.Set(float64(down))
+	gaugeNodesSuspect.Set(float64(suspect))
 	return s
+}
+
+// LastHealthGauges reports the down/suspect node counts published by the
+// most recent Snapshot of any monitor in the process — an atomic,
+// engine-lock-free read for readiness probes. The values refresh whenever
+// a snapshot is taken (every RPC that reads cluster state takes one).
+func LastHealthGauges() (down, suspect int) {
+	return int(gaugeNodesDown.Value()), int(gaugeNodesSuspect.Value())
 }

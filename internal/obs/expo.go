@@ -166,30 +166,46 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
-// DebugMux builds the debug-endpoint mux cbesd serves on -debug-listen:
-//
-//	/metrics     — Prometheus text exposition of reg
-//	/debug/vars  — expvar JSON (reg published as "cbes")
-//	/debug/spans — recent spans of tr as a JSON array
-//	/healthz     — liveness probe; healthy() == nil ⇒ 200 "ok"
-//	/debug/pprof — the standard runtime profiles
-//
-// healthy and tr may be nil (always-healthy, no span endpoint).
-func DebugMux(reg *Registry, tr *Tracer, healthy func() error) *http.ServeMux {
-	PublishExpvar(reg)
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", Handler(reg))
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		if healthy != nil {
-			if err := healthy(); err != nil {
+// probeHandler renders one health probe: check() == nil ⇒ 200 "ok",
+// otherwise 503 with the error text. A nil check always passes.
+func probeHandler(check func() error) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		if check != nil {
+			if err := check(); err != nil {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
 				return
 			}
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
+	}
+}
+
+// DebugMux builds the debug-endpoint mux cbesd serves on -debug-listen:
+//
+//	/metrics     — Prometheus text exposition of reg
+//	/debug/vars  — expvar JSON (reg published as "cbes")
+//	/debug/spans — recent spans of tr as a JSON array
+//	/healthz     — liveness probe; live() == nil ⇒ 200 "ok"
+//	/readyz      — readiness probe; ready() == nil ⇒ 200 "ok"
+//	/debug/pprof — the standard runtime profiles
+//
+// Liveness answers "is the process able to serve at all" (restart it if
+// not); readiness answers "should traffic be routed here right now" — a
+// daemon serving a degraded cluster view stays live but goes unready. A
+// nil ready falls back to live, so single-probe callers keep the old
+// one-check behaviour on both paths; live and tr may also be nil
+// (always-healthy, no span endpoint).
+func DebugMux(reg *Registry, tr *Tracer, live, ready func() error) *http.ServeMux {
+	PublishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	if ready == nil {
+		ready = live
+	}
+	mux.HandleFunc("/healthz", probeHandler(live))
+	mux.HandleFunc("/readyz", probeHandler(ready))
 	if tr != nil {
 		mux.Handle("/debug/spans", SpanHandler(tr))
 	}

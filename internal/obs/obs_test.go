@@ -212,7 +212,7 @@ func TestDebugMux(t *testing.T) {
 	r.Counter("cbes_test_total", "").Inc()
 	tr := NewTracer(8)
 	tr.Start("boot").End()
-	mux := DebugMux(r, tr, nil)
+	mux := DebugMux(r, tr, nil, nil)
 
 	get := func(path string) (int, string) {
 		rec := httptest.NewRecorder()
@@ -225,6 +225,9 @@ func TestDebugMux(t *testing.T) {
 	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
 		t.Fatalf("/healthz: %d %q", code, body)
 	}
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/readyz: %d %q", code, body)
+	}
 	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "cmdline") {
 		t.Fatalf("/debug/vars: %d\n%s", code, body)
 	}
@@ -234,11 +237,46 @@ func TestDebugMux(t *testing.T) {
 }
 
 func TestDebugMuxUnhealthy(t *testing.T) {
-	mux := DebugMux(NewRegistry(), nil, func() error { return errTest })
+	mux := DebugMux(NewRegistry(), nil, func() error { return errTest }, nil)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
 	if rec.Code != 503 {
 		t.Fatalf("/healthz on unhealthy service: %d, want 503", rec.Code)
+	}
+	// nil ready falls back to live: unready too.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/readyz fallback: %d, want 503", rec.Code)
+	}
+}
+
+// TestDebugMuxSplitProbes pins the liveness/readiness split: a live-but-
+// degraded daemon answers 200 on /healthz and 503 on /readyz.
+func TestDebugMuxSplitProbes(t *testing.T) {
+	degraded := true
+	mux := DebugMux(NewRegistry(), nil,
+		func() error { return nil },
+		func() error {
+			if degraded {
+				return errTest
+			}
+			return nil
+		})
+	get := func(path string) int {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code
+	}
+	if code := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz while degraded: %d, want 200 (still live)", code)
+	}
+	if code := get("/readyz"); code != 503 {
+		t.Fatalf("/readyz while degraded: %d, want 503", code)
+	}
+	degraded = false
+	if code := get("/readyz"); code != 200 {
+		t.Fatalf("/readyz recovered: %d, want 200", code)
 	}
 }
 

@@ -15,7 +15,9 @@
 package remap
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"cbes/internal/core"
 	"cbes/internal/monitor"
@@ -64,15 +66,28 @@ func (a *Advisor) hysteresis() float64 {
 // Evaluate compares staying on `current` against the best alternative for
 // the remaining fraction of the application (0 < remaining <= 1) under the
 // conditions of snap.
+//
+// If the current mapping straddles a node the snapshot reports down, the
+// application cannot make progress where it is: Evaluate switches to
+// evacuation mode — "stay" costs +Inf, hysteresis is waived, and any
+// feasible alternative (the scheduler filters down nodes from the pool) is
+// recommended. Only an infeasible pool (schedule.ErrInfeasible) surfaces
+// as an error then.
 func (a *Advisor) Evaluate(current core.Mapping, remaining float64, snap *monitor.Snapshot, seed int64) (*Advice, error) {
 	if remaining <= 0 || remaining > 1 {
 		return nil, fmt.Errorf("remap: remaining fraction %v out of (0,1]", remaining)
 	}
+	cur := math.Inf(1)
+	evacuate := false
 	curPred, err := a.Eval.Predict(current, snap)
-	if err != nil {
+	switch {
+	case err == nil:
+		cur = curPred.Seconds * remaining
+	case errors.Is(err, core.ErrNodeDown):
+		evacuate = true
+	default:
 		return nil, err
 	}
-	cur := curPred.Seconds * remaining
 
 	dec, err := schedule.SimulatedAnnealing(&schedule.Request{
 		Eval:   a.Eval,
@@ -88,7 +103,12 @@ func (a *Advisor) Evaluate(current core.Mapping, remaining float64, snap *monito
 
 	advice := &Advice{Current: cur, Alternative: alt, Mapping: current.Clone()}
 	gain := cur - (alt + a.MigrationCost)
-	if gain > 0 && gain > cur*a.hysteresis()/100 && !dec.Mapping.Equal(current) {
+	switch {
+	case evacuate:
+		advice.Remap = true
+		advice.Mapping = dec.Mapping
+		advice.Gain = gain // +Inf: migrating off a dead node always pays
+	case gain > 0 && gain > cur*a.hysteresis()/100 && !dec.Mapping.Equal(current):
 		advice.Remap = true
 		advice.Mapping = dec.Mapping
 		advice.Gain = gain

@@ -1,0 +1,126 @@
+package schedule
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cbes/internal/monitor"
+)
+
+// downSnap marks the given nodes HealthDown in an otherwise idle snapshot.
+func downSnap(n int, down ...int) *monitor.Snapshot {
+	s := monitor.IdleSnapshot(n)
+	s.Health = make([]monitor.Health, n)
+	for _, i := range down {
+		s.Health[i] = monitor.HealthDown
+		s.AvailCPU[i] = 0
+	}
+	return s
+}
+
+// TestSchedulersNeverMapToDownNodes is the acceptance pin: with down nodes
+// in the pool, no algorithm's decision may place a rank on one of them.
+func TestSchedulersNeverMapToDownNodes(t *testing.T) {
+	f := newFixture(t)
+	down := map[int]bool{1: true, 5: true}
+	snap := downSnap(f.topo.NumNodes(), 1, 5)
+
+	algos := map[string]func(*Request) (*Decision, error){
+		"rs":         Random,
+		"cs":         SimulatedAnnealing,
+		"ncs":        SimulatedAnnealingNoComm,
+		"ga":         Genetic,
+		"exhaustive": Exhaustive,
+	}
+	for name, run := range algos {
+		for seed := int64(0); seed < 3; seed++ {
+			req := f.request(allNodes(f), seed)
+			req.Snap = snap
+			dec, err := run(req)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			for rank, node := range dec.Mapping {
+				if down[node] {
+					t.Fatalf("%s seed %d mapped rank %d to down node %d", name, seed, rank, node)
+				}
+			}
+		}
+	}
+}
+
+func TestInfeasibleWhenHealthyPoolTooSmall(t *testing.T) {
+	f := newFixture(t)
+	// 4 ranks, pool of 4 with 2 down: capacity 2 < 4.
+	snap := downSnap(f.topo.NumNodes(), 0, 2)
+	for name, run := range map[string]func(*Request) (*Decision, error){
+		"rs": Random, "cs": SimulatedAnnealing, "ga": Genetic,
+	} {
+		req := f.request([]int{0, 1, 2, 3}, 1)
+		req.Snap = snap
+		if _, err := run(req); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("%s: err = %v, want ErrInfeasible", name, err)
+		}
+	}
+}
+
+func TestCapacityErrorIsInfeasible(t *testing.T) {
+	// The pre-existing capacity check (no faults involved) now carries the
+	// typed sentinel too.
+	f := newFixture(t)
+	req := f.request([]int{0, 1}, 1) // 2 slots for 4 ranks
+	if _, err := Random(req); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPrepareLeavesCallerPoolIntact(t *testing.T) {
+	f := newFixture(t)
+	pool := []int{0, 1, 2, 3, 4, 5}
+	orig := append([]int(nil), pool...)
+	req := f.request(pool, 1)
+	req.Snap = downSnap(f.topo.NumNodes(), 2)
+	dec, err := Random(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pool, orig) {
+		t.Fatalf("caller pool mutated: %v", pool)
+	}
+	if !reflect.DeepEqual(req.Pool, orig) {
+		t.Fatalf("request pool mutated: %v", req.Pool)
+	}
+	for _, node := range dec.Mapping {
+		if node == 2 {
+			t.Fatal("mapped to filtered node")
+		}
+	}
+}
+
+func TestDegradedSnapshotStillSchedulable(t *testing.T) {
+	// Suspect (stale) nodes stay in the pool — they are served with
+	// profile-only fallbacks by the evaluator, not excluded.
+	f := newFixture(t)
+	snap := monitor.IdleSnapshot(f.topo.NumNodes())
+	snap.Health = make([]monitor.Health, f.topo.NumNodes())
+	for i := range snap.Health {
+		snap.Health[i] = monitor.HealthSuspect
+	}
+	req := f.request([]int{0, 1, 2, 3}, 1)
+	req.Snap = snap
+	dec, err := SimulatedAnnealing(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Mapping) != 4 {
+		t.Fatalf("mapping = %v", dec.Mapping)
+	}
+	pred, err := f.eval.Predict(dec.Mapping, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Degraded {
+		t.Fatal("prediction on all-suspect snapshot should be degraded")
+	}
+}

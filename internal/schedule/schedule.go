@@ -22,6 +22,7 @@
 package schedule
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -52,7 +53,19 @@ var (
 	metricConstraintFailures = obs.Default().Counter(
 		"cbes_schedule_constraint_failures_total",
 		"Searches that found no constraint-satisfying mapping within their effort.")
+	metricNodesFiltered = obs.Default().Counter(
+		"cbes_schedule_unhealthy_nodes_filtered_total",
+		"Down nodes removed from requested pools before searching.")
+	metricInfeasible = obs.Default().Counter(
+		"cbes_schedule_infeasible_total",
+		"Requests rejected because the healthy pool cannot hold the application.")
 )
+
+// ErrInfeasible reports a request whose pool — after removing down nodes —
+// cannot hold the application's ranks, or whose search space contains no
+// valid mapping. Callers match it with errors.Is; the wrapped message
+// carries the specifics.
+var ErrInfeasible = errors.New("infeasible")
 
 // observe records one finished scheduling decision (deferred by every
 // scheduler entry point; start is captured when the defer is declared).
@@ -141,10 +154,51 @@ func (r *Request) validate() error {
 		return fmt.Errorf("schedule: empty node pool")
 	}
 	if len(r.Pool)*r.slots() < r.ranks() {
-		return fmt.Errorf("schedule: pool capacity %d < %d ranks",
-			len(r.Pool)*r.slots(), r.ranks())
+		return fmt.Errorf("schedule: pool capacity %d < %d ranks: %w",
+			len(r.Pool)*r.slots(), r.ranks(), ErrInfeasible)
 	}
 	return nil
+}
+
+// prepare validates the request and removes down nodes from the pool (a
+// scheduler must never place work on a crashed node, and the energy
+// function rejects such mappings anyway). It returns the request to
+// search with — a shallow copy when filtering changed the pool — or a
+// wrapped ErrInfeasible when the healthy pool cannot hold the ranks.
+func (r *Request) prepare() (*Request, error) {
+	if err := r.validate(); err != nil {
+		if errors.Is(err, ErrInfeasible) {
+			metricInfeasible.Inc()
+		}
+		return nil, err
+	}
+	if r.Snap.Health == nil {
+		return r, nil
+	}
+	healthy := r.Pool // copy-on-write: allocate only if something is down
+	filtered := 0
+	for i, n := range r.Pool {
+		if r.Snap.HealthOf(n) == monitor.HealthDown {
+			if filtered == 0 {
+				healthy = append([]int(nil), r.Pool[:i]...)
+			}
+			filtered++
+		} else if filtered > 0 {
+			healthy = append(healthy, n)
+		}
+	}
+	if filtered == 0 {
+		return r, nil
+	}
+	metricNodesFiltered.Add(uint64(filtered))
+	if len(healthy)*r.slots() < r.ranks() {
+		metricInfeasible.Inc()
+		return nil, fmt.Errorf("schedule: healthy pool capacity %d < %d ranks (%d down nodes filtered): %w",
+			len(healthy)*r.slots(), r.ranks(), filtered, ErrInfeasible)
+	}
+	rr := *r
+	rr.Pool = healthy
+	return &rr, nil
 }
 
 // Decision is a scheduler's answer.
@@ -255,7 +309,8 @@ func predictFull(req *Request, m core.Mapping) float64 {
 // Random is the RS scheduler: an arbitrary valid mapping, no evaluation.
 func Random(req *Request) (d *Decision, err error) {
 	defer observe("rs", time.Now(), &d, &err)
-	if err := req.validate(); err != nil {
+	req, err = req.prepare()
+	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -391,7 +446,8 @@ func saSchedule(req *Request) (core.Mapping, float64, int, error) {
 // incremental fast path (Scorer delta-evaluation per proposed move).
 func SimulatedAnnealing(req *Request) (d *Decision, err error) {
 	defer observe("cs", time.Now(), &d, &err)
-	if err := req.validate(); err != nil {
+	req, err = req.prepare()
+	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -415,7 +471,8 @@ func SimulatedAnnealing(req *Request) (d *Decision, err error) {
 // of NCS results.
 func SimulatedAnnealingNoComm(req *Request) (d *Decision, err error) {
 	defer observe("ncs", time.Now(), &d, &err)
-	if err := req.validate(); err != nil {
+	req, err = req.prepare()
+	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -439,7 +496,8 @@ func SimulatedAnnealingNoComm(req *Request) (d *Decision, err error) {
 // on the allocation-free full evaluation of the fast path.
 func Genetic(req *Request) (d *Decision, err error) {
 	defer observe("ga", time.Now(), &d, &err)
-	if err := req.validate(); err != nil {
+	req, err = req.prepare()
+	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -517,7 +575,8 @@ func Genetic(req *Request) (d *Decision, err error) {
 // enumerated mapping costs one delta evaluation instead of a full one.
 func Exhaustive(req *Request) (d *Decision, err error) {
 	defer observe("exhaustive", time.Now(), &d, &err)
-	if err := req.validate(); err != nil {
+	req, err = req.prepare()
+	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -568,7 +627,8 @@ func Exhaustive(req *Request) (d *Decision, err error) {
 	}
 	walk(0)
 	if best == nil {
-		return nil, fmt.Errorf("schedule: no feasible mapping")
+		metricInfeasible.Inc()
+		return nil, fmt.Errorf("schedule: no feasible mapping: %w", ErrInfeasible)
 	}
 	return &Decision{
 		Mapping:       best,

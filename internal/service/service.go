@@ -7,11 +7,15 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,25 +40,78 @@ var (
 		"cbes_rpc_inflight", "RPC requests currently being handled (or waiting on the engine lock).")
 	rpcConnections = obs.Default().Counter(
 		"cbes_rpc_connections_total", "Client connections accepted.")
+	rpcActiveConns = obs.Default().Gauge(
+		"cbes_rpc_active_connections", "Client connections currently open.")
+	rpcPanics = obs.Default().Counter(
+		"cbes_rpc_panics_recovered_total", "Handler panics recovered and returned as errors.")
+	rpcBusy = obs.Default().Counter(
+		"cbes_rpc_busy_total", "Requests rejected because the engine lock was not acquired in time.")
+	clientRetries = obs.Default().Counter(
+		"cbes_client_retries_total", "Client-side retries of transient RPC failures.")
 )
 
-// intercept wraps one RPC method body with instrumentation and the
-// engine serialization lock (the simulation engine is single-threaded by
-// design, so every handler runs under s.mu). The in-flight gauge counts
-// requests from arrival, i.e. including time spent queued on the lock.
+// ErrBusy is returned (wrapped) when a request could not acquire the
+// engine serialization lock within the server's request timeout — e.g. a
+// long-running Schedule is hogging the engine. The condition is transient;
+// the retrying client backs off and retries it. Note that net/rpc flattens
+// server errors to strings, so remote callers must match with IsBusy
+// rather than errors.Is.
+var ErrBusy = errors.New("service: server busy (engine lock timeout)")
+
+// IsBusy reports whether err is ErrBusy, either locally (errors.Is) or
+// flattened to a string by net/rpc transport.
+func IsBusy(err error) bool {
+	return err != nil &&
+		(errors.Is(err, ErrBusy) || strings.Contains(err.Error(), "server busy (engine lock timeout)"))
+}
+
+// intercept wraps one RPC method body with instrumentation, panic
+// recovery, and the engine serialization lock (the simulation engine is
+// single-threaded by design, so every handler runs under the lock). Lock
+// acquisition is deadline-bounded: a request that cannot start within the
+// server's request timeout — e.g. queued behind a long Schedule — fails
+// fast with ErrBusy instead of piling up. Once a handler runs it is not
+// preempted (Go offers no safe preemption), so the timeout bounds queueing
+// time, not execution time. The in-flight gauge counts requests from
+// arrival, i.e. including time spent queued on the lock.
 func (s *Server) intercept(method string, fn func() error) error {
 	rpcInflight.Add(1)
+	s.inflight.Add(1)
 	defer rpcInflight.Add(-1)
+	defer s.inflight.Done()
 	start := time.Now()
-	s.mu.Lock()
-	err := fn()
-	s.mu.Unlock()
+	timer := time.NewTimer(s.timeout)
+	defer timer.Stop()
+	select {
+	case s.lock <- struct{}{}:
+	case <-timer.C:
+		rpcBusy.Inc()
+		rpcRequests.With(method).Inc()
+		rpcErrors.With(method).Inc()
+		return fmt.Errorf("service: %s queued %v on the engine lock: %w", method, s.timeout, ErrBusy)
+	}
+	err := s.invoke(method, fn)
 	rpcRequests.With(method).Inc()
 	rpcSeconds.With(method).Observe(time.Since(start).Seconds())
 	if err != nil {
 		rpcErrors.With(method).Inc()
 	}
 	return err
+}
+
+// invoke runs the handler body holding the engine lock, converting a panic
+// into an error so one poisoned request cannot kill the daemon (net/rpc
+// would otherwise crash the whole process) — and, crucially, so the engine
+// lock is still released for subsequent requests.
+func (s *Server) invoke(method string, fn func() error) (err error) {
+	defer func() { <-s.lock }()
+	defer func() {
+		if p := recover(); p != nil {
+			rpcPanics.Inc()
+			err = fmt.Errorf("service: %s: internal error (recovered panic): %v", method, p)
+		}
+	}()
+	return fn()
 }
 
 // RPCName is the registered net/rpc service name.
@@ -156,17 +213,36 @@ type AdvanceReply struct {
 	SimSeconds float64
 }
 
+// DefaultRequestTimeout bounds how long a request may queue on the engine
+// lock before failing fast with ErrBusy.
+const DefaultRequestTimeout = 30 * time.Second
+
 // Server serves CBES requests for one System. All requests are serialized
 // through intercept — the simulation engine is single-threaded by design —
 // except Metrics, which only reads atomics and must not block behind a
 // long-running Schedule.
 type Server struct {
-	mu  sync.Mutex
 	sys *cbes.System
+	// lock is the engine serialization lock. A 1-slot channel rather than
+	// a sync.Mutex so acquisition can race a deadline (see intercept).
+	lock    chan struct{}
+	timeout time.Duration
+	// inflight tracks requests (not connections) for shutdown draining.
+	inflight sync.WaitGroup
 }
 
-// NewServer wraps a System.
-func NewServer(sys *cbes.System) *Server { return &Server{sys: sys} }
+// NewServer wraps a System with the default request timeout.
+func NewServer(sys *cbes.System) *Server {
+	return &Server{sys: sys, lock: make(chan struct{}, 1), timeout: DefaultRequestTimeout}
+}
+
+// SetRequestTimeout overrides the engine-lock queueing bound. Must be
+// called before the server starts handling requests.
+func (s *Server) SetRequestTimeout(d time.Duration) {
+	if d > 0 {
+		s.timeout = d
+	}
+}
 
 // Evaluate predicts the execution time of one mapping.
 func (s *Server) Evaluate(args *EvaluateArgs, reply *EvaluateReply) error {
@@ -270,7 +346,9 @@ func (s *Server) Advance(args *AdvanceArgs, reply *AdvanceReply) error {
 // scrape must not queue behind a long-running Schedule.
 func (s *Server) Metrics(args *MetricsArgs, reply *MetricsReply) error {
 	rpcInflight.Add(1)
+	s.inflight.Add(1)
 	defer rpcInflight.Add(-1)
+	defer s.inflight.Done()
 	start := time.Now()
 	defer func() {
 		rpcRequests.With("Metrics").Inc()
@@ -296,83 +374,336 @@ func (s *Server) Metrics(args *MetricsArgs, reply *MetricsReply) error {
 	return nil
 }
 
+// ServeOptions tunes ServeWith. The zero value selects sane defaults.
+type ServeOptions struct {
+	// MaxClients bounds concurrently served connections; further accepts
+	// wait (TCP backlog backpressure) until a slot frees. Default 64.
+	MaxClients int
+	// DrainTimeout bounds how long shutdown waits for in-flight requests
+	// to finish before force-closing connections. Default 5s.
+	DrainTimeout time.Duration
+	// RequestTimeout bounds engine-lock queueing per request (ErrBusy on
+	// expiry). Default DefaultRequestTimeout.
+	RequestTimeout time.Duration
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.MaxClients <= 0 {
+		o.MaxClients = 64
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	return o
+}
+
 // Serve accepts connections on l until the listener closes. It blocks.
 // A deliberate close of the listener (the daemon's shutdown path) is a
 // clean exit and returns nil; any other accept failure is returned.
+// Equivalent to ServeWith with default options.
 func Serve(sys *cbes.System, l net.Listener) error {
+	return ServeWith(sys, l, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit limits. Unlike the naive accept loop it
+// (a) bounds the number of concurrently served connections, (b) tracks
+// every open connection, and (c) drains on shutdown: once the listener
+// closes, it waits up to DrainTimeout for in-flight requests to complete,
+// lets replies flush, then force-closes whatever connections remain (idle
+// keep-alive clients would otherwise pin their handler goroutines, and the
+// old code leaked them outright). It returns only after every connection
+// goroutine has exited or the drain budget is exhausted.
+func ServeWith(sys *cbes.System, l net.Listener, opts ServeOptions) error {
+	opts = opts.withDefaults()
+	impl := NewServer(sys)
+	impl.SetRequestTimeout(opts.RequestTimeout)
 	srv := rpc.NewServer()
-	if err := srv.RegisterName(RPCName, NewServer(sys)); err != nil {
+	if err := srv.RegisterName(RPCName, impl); err != nil {
 		return err
 	}
+
+	var (
+		sem    = make(chan struct{}, opts.MaxClients)
+		connMu sync.Mutex
+		conns  = map[net.Conn]struct{}{}
+		wg     sync.WaitGroup
+	)
+	var acceptErr error
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
+			if !errors.Is(err, net.ErrClosed) {
+				acceptErr = err
 			}
-			return err
+			break
 		}
+		sem <- struct{}{} // client-concurrency bound: backpressure on accept
 		rpcConnections.Inc()
-		go srv.ServeConn(conn)
+		rpcActiveConns.Add(1)
+		connMu.Lock()
+		conns[conn] = struct{}{}
+		connMu.Unlock()
+		wg.Add(1)
+		go func(c net.Conn) {
+			defer func() {
+				connMu.Lock()
+				delete(conns, c)
+				connMu.Unlock()
+				c.Close()
+				rpcActiveConns.Add(-1)
+				<-sem
+				wg.Done()
+			}()
+			srv.ServeConn(c)
+		}(conn)
 	}
+
+	// Drain: in-flight requests get DrainTimeout to finish...
+	done := make(chan struct{})
+	go func() { impl.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+		// ...and their replies a moment to flush before we cut the wire. A
+		// reply racing the close is retried by the client (methods retried
+		// are idempotent), so this grace is a latency nicety, not a
+		// correctness requirement.
+		time.Sleep(20 * time.Millisecond)
+	case <-time.After(opts.DrainTimeout):
+	}
+	connMu.Lock()
+	for c := range conns {
+		c.Close() // unblocks ServeConn's read; handler goroutine exits
+	}
+	connMu.Unlock()
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	select {
+	case <-wgDone:
+	case <-time.After(opts.DrainTimeout):
+		// A handler is stuck mid-request past every budget; give up rather
+		// than hang shutdown. The goroutine dies with the process.
+	}
+	return acceptErr
 }
 
-// Client is a typed CBES RPC client.
+// DefaultDialTimeout is the connection timeout of Dial.
+const DefaultDialTimeout = 5 * time.Second
+
+// RetryPolicy configures the client's handling of transient failures on
+// idempotent methods: up to Max retries with exponential backoff from
+// BaseDelay (capped at MaxDelay) plus jitter.
+type RetryPolicy struct {
+	Max       int           // retries after the first attempt (default 3)
+	BaseDelay time.Duration // first backoff step (default 25ms)
+	MaxDelay  time.Duration // backoff cap (default 1s)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Max < 0 {
+		p.Max = 0
+	} else if p.Max == 0 {
+		p.Max = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// delay computes the backoff before retry attempt (0-based) with full
+// jitter: a uniform draw from (0, cappedExponential], so synchronized
+// clients spread out instead of thundering back together.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay << uint(attempt)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	return time.Duration(1 + rand.Int63n(int64(d)))
+}
+
+// Client is a typed CBES RPC client. Idempotent methods (everything except
+// Advance, which mutates simulated time) transparently retry transient
+// failures — connection loss, server shutdown mid-flight, ErrBusy — with
+// exponential backoff plus jitter, redialing as needed. A Client is safe
+// for concurrent use.
 type Client struct {
+	addr        string
+	dialTimeout time.Duration
+	retry       RetryPolicy
+
+	mu sync.Mutex // guards rc across reconnects
 	rc *rpc.Client
 }
 
-// Dial connects to a CBES server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+// Dial connects to a CBES server with the default timeout.
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, DefaultDialTimeout) }
+
+// DialTimeout connects to a CBES server, waiting at most timeout for the
+// connection to establish.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return DialContext(ctx, addr)
+}
+
+// DialContext connects to a CBES server under the given context (deadline
+// and cancellation apply to connection establishment only, not to calls).
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
 	}
-	return &Client{rc: rpc.NewClient(conn)}, nil
+	timeout := DefaultDialTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); remain > 0 {
+			timeout = remain
+		}
+	}
+	return &Client{
+		addr:        addr,
+		dialTimeout: timeout,
+		retry:       RetryPolicy{}.withDefaults(),
+		rc:          rpc.NewClient(conn),
+	}, nil
 }
 
+// SetRetryPolicy overrides the transient-failure retry behaviour.
+// RetryPolicy{Max: -1} disables retries entirely.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p.withDefaults() }
+
 // Close terminates the connection.
-func (c *Client) Close() error { return c.rc.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rc.Close()
+}
+
+func (c *Client) conn() *rpc.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rc
+}
+
+// reconnect replaces a broken connection, best-effort: on dial failure the
+// old (dead) client stays, and the next call surfaces its error.
+func (c *Client) reconnect(old *rpc.Client) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	if c.rc == old { // lost a race with another caller's reconnect: keep theirs
+		c.rc.Close()
+		c.rc = rpc.NewClient(conn)
+		conn = nil
+	}
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// isTransient classifies errors worth retrying: the connection died (the
+// request outcome is unknown — safe to resend only idempotent methods), or
+// the server reported ErrBusy (definitely not executed).
+func isTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) {
+		return true
+	}
+	if _, ok := err.(rpc.ServerError); ok {
+		return IsBusy(err)
+	}
+	return IsBusy(err) || errors.Is(err, net.ErrClosed)
+}
+
+// connError reports whether err indicates the underlying connection is
+// unusable (vs. a server-side transient like ErrBusy).
+func connError(err error) bool {
+	if _, ok := err.(rpc.ServerError); ok {
+		return false
+	}
+	return true
+}
+
+// call performs one RPC, retrying transient failures when idempotent is
+// true. Non-idempotent methods (Advance) never retry: a lost reply leaves
+// the outcome unknown and a resend would double-apply it.
+func (c *Client) call(method string, args, reply any, idempotent bool) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		rc := c.conn()
+		err = rc.Call(RPCName+"."+method, args, reply)
+		if err == nil || !idempotent || attempt >= c.retry.Max || !isTransient(err) {
+			return err
+		}
+		clientRetries.Inc()
+		if connError(err) {
+			c.reconnect(rc)
+		}
+		time.Sleep(c.retry.delay(attempt))
+	}
+}
 
 // Evaluate predicts one mapping's execution time.
 func (c *Client) Evaluate(app string, mapping []int) (*EvaluateReply, error) {
 	var reply EvaluateReply
-	err := c.rc.Call(RPCName+".Evaluate", &EvaluateArgs{App: app, Mapping: mapping}, &reply)
+	err := c.call("Evaluate", &EvaluateArgs{App: app, Mapping: mapping}, &reply, true)
 	return &reply, err
 }
 
 // Explain fetches the per-process breakdown of one mapping's prediction.
 func (c *Client) Explain(app string, mapping []int) (*ExplainReply, error) {
 	var reply ExplainReply
-	err := c.rc.Call(RPCName+".Explain", &ExplainArgs{App: app, Mapping: mapping}, &reply)
+	err := c.call("Explain", &ExplainArgs{App: app, Mapping: mapping}, &reply, true)
 	return &reply, err
 }
 
 // Compare predicts several mappings.
 func (c *Client) Compare(app string, mappings [][]int) (*CompareReply, error) {
 	var reply CompareReply
-	err := c.rc.Call(RPCName+".Compare", &CompareArgs{App: app, Mappings: mappings}, &reply)
+	err := c.call("Compare", &CompareArgs{App: app, Mappings: mappings}, &reply, true)
 	return &reply, err
 }
 
-// Schedule requests a mapping from the named algorithm.
+// Schedule requests a mapping from the named algorithm. Retried on
+// transient failure: scheduling is deterministic in (app, algorithm, pool,
+// seed) and mutates nothing, so a resend is safe.
 func (c *Client) Schedule(app, algorithm string, pool []int, seed int64) (*ScheduleReply, error) {
 	var reply ScheduleReply
-	err := c.rc.Call(RPCName+".Schedule", &ScheduleArgs{App: app, Algorithm: algorithm, Pool: pool, Seed: seed}, &reply)
+	err := c.call("Schedule", &ScheduleArgs{App: app, Algorithm: algorithm, Pool: pool, Seed: seed}, &reply, true)
 	return &reply, err
 }
 
 // Status fetches service status.
 func (c *Client) Status() (*StatusReply, error) {
 	var reply StatusReply
-	err := c.rc.Call(RPCName+".Status", &StatusArgs{}, &reply)
+	err := c.call("Status", &StatusArgs{}, &reply, true)
 	return &reply, err
 }
 
-// Advance moves simulated time forward on the server.
+// Advance moves simulated time forward on the server. Never retried: the
+// call is not idempotent, and resending after a lost reply would advance
+// the clock twice.
 func (c *Client) Advance(seconds float64) (*AdvanceReply, error) {
 	var reply AdvanceReply
-	err := c.rc.Call(RPCName+".Advance", &AdvanceArgs{Seconds: seconds}, &reply)
+	err := c.call("Advance", &AdvanceArgs{Seconds: seconds}, &reply, false)
 	return &reply, err
 }
 
@@ -380,6 +711,6 @@ func (c *Client) Advance(seconds float64) (*AdvanceReply, error) {
 // FormatPrometheus for text exposition, FormatJSON for JSON).
 func (c *Client) Metrics(format string) (*MetricsReply, error) {
 	var reply MetricsReply
-	err := c.rc.Call(RPCName+".Metrics", &MetricsArgs{Format: format}, &reply)
+	err := c.call("Metrics", &MetricsArgs{Format: format}, &reply, true)
 	return &reply, err
 }

@@ -32,6 +32,9 @@ const (
 // linkState tracks FIFO occupancy and utilization accounting for one link.
 type linkState struct {
 	spec cluster.Link
+	// scale multiplies the link's nominal bandwidth: 1 is healthy, smaller
+	// values model a degraded cable/switch port (fault injection).
+	scale float64
 	// freeAt[d] is when the link can begin transmitting the next message in
 	// direction d.
 	freeAt [2]des.Time
@@ -79,9 +82,35 @@ func New(eng *des.Engine, topo *cluster.Topology) *Network {
 	n.links = make([]linkState, len(topo.Links))
 	for i, l := range topo.Links {
 		n.links[i].spec = l
+		n.links[i].scale = 1
 	}
 	return n
 }
+
+// minLinkScale bounds degradation so transmission times stay finite: a
+// "partitioned" link crawls at 1% of nominal bandwidth rather than
+// stalling the simulation forever.
+const minLinkScale = 0.01
+
+// DegradeLink scales link id's bandwidth by factor (clamped to
+// [minLinkScale, 1]) — the fault-injection hook for flaky cables and
+// congested switch ports. In-flight transmissions keep their already
+// computed times; subsequent messages see the degraded rate.
+func (n *Network) DegradeLink(id int, factor float64) {
+	if factor > 1 {
+		factor = 1
+	}
+	if factor < minLinkScale {
+		factor = minLinkScale
+	}
+	n.links[id].scale = factor
+}
+
+// RestoreLink returns link id to nominal bandwidth.
+func (n *Network) RestoreLink(id int) { n.links[id].scale = 1 }
+
+// LinkScale reports link id's current bandwidth scale (1 = healthy).
+func (n *Network) LinkScale(id int) float64 { return n.links[id].scale }
 
 // Topology returns the static topology.
 func (n *Network) Topology() *cluster.Topology { return n.topo }
@@ -181,7 +210,7 @@ func (n *Network) hop(t *transfer) {
 	if l.freeAt[dir] > start {
 		start = l.freeAt[dir]
 	}
-	tx := txTime(t.size, l.spec.Bandwidth)
+	tx := txTime(t.size, l.spec.Bandwidth*l.scale)
 	l.freeAt[dir] = start + tx
 	l.busy[dir] += tx
 	arrive := start + tx + l.spec.Latency

@@ -36,6 +36,17 @@ func (c *Cluster) Availability(id int) float64 { return c.cpus[id].Availability(
 // from engine context.
 func (c *Cluster) SetAvailability(id int, a float64) { c.cpus[id].SetAvailability(a) }
 
+// Crash takes node id down (see CPU.Crash). Must be called from engine
+// context.
+func (c *Cluster) Crash(id int) { c.cpus[id].Crash() }
+
+// Recover brings node id back up (see CPU.Recover). Must be called from
+// engine context.
+func (c *Cluster) Recover(id int) { c.cpus[id].Recover() }
+
+// Down reports whether node id is crashed.
+func (c *Cluster) Down(id int) bool { return c.cpus[id].Down() }
+
 // LoadStep is one step of a piecewise-constant background-load script.
 type LoadStep struct {
 	At    des.Time // absolute simulated time

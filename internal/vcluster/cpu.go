@@ -55,6 +55,9 @@ type CPU struct {
 	eng   *des.Engine
 	node  *cluster.Node
 	avail float64
+	// down marks a crashed node: tasks freeze (no progress, no completion
+	// events) and sensors read zero availability until Recover.
+	down bool
 	// tasks is kept in admission order: a slice (not a map) so that
 	// advance()'s floating-point accumulation visits tasks in a
 	// deterministic order and per-burst bookkeeping stays allocation-free.
@@ -76,14 +79,50 @@ func NewCPU(eng *des.Engine, node *cluster.Node) *CPU {
 func (c *CPU) Node() *cluster.Node { return c.node }
 
 // Availability reports the fraction of each core not consumed by background
-// load (the ground truth the monitoring sensors sample).
-func (c *CPU) Availability() float64 { return c.avail }
+// load (the ground truth the monitoring sensors sample). A crashed node
+// reports zero.
+func (c *CPU) Availability() float64 {
+	if c.down {
+		return 0
+	}
+	return c.avail
+}
+
+// Down reports whether the node is crashed.
+func (c *CPU) Down() bool { return c.down }
+
+// Crash takes the node down: running tasks freeze in place (they resume
+// from their residual work on Recover, modelling processes hung on a dead
+// node rather than killed), and no new completions fire. Must be called
+// from engine context.
+func (c *CPU) Crash() {
+	if c.down {
+		return
+	}
+	c.advance()
+	c.down = true
+	c.reschedule()
+}
+
+// Recover brings a crashed node back at its configured availability;
+// frozen tasks resume. Must be called from engine context.
+func (c *CPU) Recover() {
+	if !c.down {
+		return
+	}
+	c.advance() // zero progress accrues while down; stamps lastTouch
+	c.down = false
+	c.reschedule()
+}
 
 // AvailableToNewTask reports the CPU share a newly arriving task would
 // receive, accounting for both background load and tasks already running —
 // the quantity an NWS-style CPU sensor measures and the ACPU_j term of
 // eq. 5.
 func (c *CPU) AvailableToNewTask() float64 {
+	if c.down {
+		return 0
+	}
 	n := len(c.tasks) + 1
 	return c.avail * math.Min(1, float64(c.node.CPUs)/float64(n))
 }
@@ -112,10 +151,11 @@ func (c *CPU) SetAvailability(a float64) {
 	c.reschedule()
 }
 
-// share is the per-task fraction of a dedicated core.
+// share is the per-task fraction of a dedicated core. Zero while the node
+// is down: tasks make no progress and reschedule() arms no completion.
 func (c *CPU) share() float64 {
 	n := len(c.tasks)
-	if n == 0 {
+	if n == 0 || c.down {
 		return 0
 	}
 	return c.avail * math.Min(1, float64(c.node.CPUs)/float64(n))
@@ -151,6 +191,10 @@ func (c *CPU) reschedule() {
 		return
 	}
 	sh := c.share()
+	if sh == 0 {
+		// Down node: tasks are frozen, no completion to arm until Recover.
+		return
+	}
 	var next *cpuTask
 	eta := math.Inf(1)
 	for _, t := range c.tasks {

@@ -1,0 +1,81 @@
+package vcluster
+
+import (
+	"math"
+	"testing"
+
+	"cbes/internal/des"
+)
+
+func TestCrashFreezesRunningTask(t *testing.T) {
+	// 4 ref-seconds of work; node crashes at t=1s and recovers at t=3s.
+	// The task loses exactly the 2s outage: it finishes at t=6s.
+	eng, vc := newTestCluster()
+	var elapsed des.Time
+	eng.Spawn("w", func(p *des.Proc) {
+		start := p.Now()
+		vc.CPU(0).Compute(p, 4.0, 1.0)
+		elapsed = p.Now() - start
+	})
+	eng.ScheduleAt(1*des.Second, func() { vc.Crash(0) })
+	eng.ScheduleAt(3*des.Second, func() { vc.Recover(0) })
+	eng.Run()
+	if got := elapsed.Seconds(); math.Abs(got-6.0) > 1e-6 {
+		t.Fatalf("elapsed = %v, want 6s (4s work + 2s outage)", got)
+	}
+}
+
+func TestCrashZeroesAvailability(t *testing.T) {
+	eng, vc := newTestCluster()
+	eng.ScheduleAt(des.Second, func() { vc.Crash(2) })
+	eng.RunUntil(2 * des.Second)
+	if !vc.Down(2) {
+		t.Fatal("node should report down")
+	}
+	if got := vc.Availability(2); got != 0 {
+		t.Fatalf("down availability = %v, want 0", got)
+	}
+	if got := vc.CPU(2).AvailableToNewTask(); got != 0 {
+		t.Fatalf("down AvailableToNewTask = %v, want 0", got)
+	}
+	eng.ScheduleAt(3*des.Second, func() { vc.Recover(2) })
+	eng.RunUntil(4 * des.Second)
+	if vc.Down(2) {
+		t.Fatal("node should be back up")
+	}
+	if got := vc.Availability(2); got != 1 {
+		t.Fatalf("recovered availability = %v, want 1", got)
+	}
+}
+
+func TestCrashWithoutRecoverNeverCompletes(t *testing.T) {
+	eng, vc := newTestCluster()
+	done := false
+	eng.Spawn("w", func(p *des.Proc) {
+		vc.CPU(0).Compute(p, 1.0, 1.0)
+		done = true
+	})
+	eng.ScheduleAt(des.Second/2, func() { vc.Crash(0) })
+	eng.RunUntil(1000 * des.Second)
+	if done {
+		t.Fatal("task completed on a crashed node")
+	}
+	eng.Shutdown()
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	eng, vc := newTestCluster()
+	eng.ScheduleAt(des.Second, func() {
+		vc.Recover(0) // recover while up: no-op
+		vc.Crash(0)
+		vc.Crash(0) // double crash: no-op
+		vc.Recover(0)
+	})
+	eng.RunUntil(2 * des.Second)
+	if vc.Down(0) {
+		t.Fatal("node should be up after crash+recover")
+	}
+	if got := vc.Availability(0); got != 1 {
+		t.Fatalf("availability = %v, want 1", got)
+	}
+}
