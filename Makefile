@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify ci bench bench-quick bench-compare obs-smoke faults-smoke fuzz
+.PHONY: build test verify ci bench bench-quick bench-compare service-bench service-bench-short obs-smoke faults-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ ci:
 	$(MAKE) faults-smoke
 	$(GO) test -race -timeout 45m ./...
 	$(MAKE) bench-quick
+	$(MAKE) service-bench-short
 
 # Run the benchmark suite and archive it as machine-readable JSON
 # (name -> ns/op, allocs/op, evals/s) for cross-commit comparison. The
@@ -43,6 +44,19 @@ bench-compare:
 	$(GO) test -run xxx -bench . -benchmem ./... > BENCH_new.txt
 	$(GO) run ./cmd/benchjson -o BENCH_new.json < BENCH_new.txt
 	$(GO) run ./cmd/benchjson -diff BENCH_cbes.json BENCH_new.json
+
+# Concurrent-load benchmark of the RPC service: sharded read path
+# (epoch-keyed prediction cache, lock-free reads) vs the single-lock
+# baseline on a 95% read mix. Records throughput and p50/p99 into
+# BENCH_cbes.json (rps and p99_ms are regression-gated by bench-compare)
+# and fails unless the sharded path is at least 10x the baseline.
+service-bench:
+	$(GO) run ./cmd/servicebench -clients 16 -duration 5s -min-speedup 10 -o BENCH_cbes.json
+
+# Short service-bench for CI: quick smoke with a relaxed speedup floor
+# (shared-runner timing is noisy), no snapshot update.
+service-bench-short:
+	$(GO) run ./cmd/servicebench -clients 8 -duration 1s -min-speedup 3 -o ""
 
 # End-to-end observability smoke test: boots cbesd with -debug-listen,
 # drives a scheduling request, asserts /healthz plus non-zero core

@@ -215,7 +215,17 @@ func (s *System) Schedule(app string, alg Algorithm, pool []int, seed int64) (*s
 	if err != nil {
 		return nil, err
 	}
-	req := &schedule.Request{Eval: e, Snap: s.Snapshot(), Pool: pool, Seed: seed}
+	return ScheduleOn(e, s.Snapshot(), alg, pool, seed)
+}
+
+// ScheduleOn runs the selected scheduling algorithm against an explicit
+// evaluator and availability snapshot. It touches no System state, so
+// concurrent callers holding an immutable snapshot (the service's
+// lock-free read path) can schedule in parallel: evaluators are safe for
+// concurrent use and the decision is deterministic in (evaluator,
+// snapshot, algorithm, pool, seed).
+func ScheduleOn(e *core.Evaluator, snap *monitor.Snapshot, alg Algorithm, pool []int, seed int64) (*schedule.Decision, error) {
+	req := &schedule.Request{Eval: e, Snap: snap, Pool: pool, Seed: seed}
 	switch alg {
 	case AlgCS:
 		return schedule.SimulatedAnnealing(req)

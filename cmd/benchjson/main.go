@@ -144,9 +144,20 @@ func deltaPct(oldV, newV float64) float64 {
 	return (newV - oldV) / oldV * 100
 }
 
+// gatedExtras maps custom-metric keys to their regression direction:
+// +1 gates on increase (latencies — lower is better), -1 gates on
+// decrease (throughput — higher is better). Extra keys not listed are
+// informational only. The service benchmark's RPC throughput and tail
+// latency ride through here.
+var gatedExtras = map[string]int{
+	"rps":    -1,
+	"p99_ms": +1,
+}
+
 // diffResults renders a per-benchmark comparison and reports whether any
-// benchmark's ns/op or allocs/op grew past thresholdPct. Benchmarks present
-// on only one side are listed but never gate.
+// benchmark's ns/op or allocs/op grew past thresholdPct — or a gated
+// custom metric (RPC throughput, p99 latency) moved the wrong way past
+// it. Benchmarks present on only one side are listed but never gate.
 func diffResults(oldR, newR []*Result, thresholdPct float64) (string, bool) {
 	oldBy := make(map[string]*Result, len(oldR))
 	for _, r := range oldR {
@@ -174,6 +185,21 @@ func diffResults(oldR, newR []*Result, thresholdPct float64) (string, bool) {
 		}
 		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %+7.1f%% %12.0f %12.0f %+7.1f%%%s\n",
 			n.Name, o.NsPerOp, n.NsPerOp, dNs, o.AllocsPerOp, n.AllocsPerOp, dAl, mark)
+		for _, key := range sortedKeys(n.Extra) {
+			dir, gated := gatedExtras[key]
+			oldV, hasOld := o.Extra[key]
+			if !gated || !hasOld {
+				continue
+			}
+			d := deltaPct(oldV, n.Extra[key])
+			mark := ""
+			if float64(dir)*d > thresholdPct {
+				mark = "  REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(&sb, "%-40s %14.2f %14.2f %+7.1f%%%s\n",
+				"  └ "+key, oldV, n.Extra[key], d, mark)
+		}
 	}
 	for _, o := range oldR {
 		if !seen[o.Name] {
@@ -182,6 +208,16 @@ func diffResults(oldR, newR []*Result, thresholdPct float64) (string, bool) {
 		}
 	}
 	return sb.String(), regressed
+}
+
+// sortedKeys returns m's keys in stable order for deterministic output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // parseLine parses one `go test -bench` result line:

@@ -124,3 +124,57 @@ func TestDiffResults(t *testing.T) {
 		}
 	})
 }
+
+// The service benchmark's custom metrics gate directionally: throughput
+// (rps) on decrease, tail latency (p99_ms) on increase. Other Extra keys
+// stay informational.
+func TestDiffGatedExtras(t *testing.T) {
+	oldR := []*Result{{
+		Name: "ServiceRPC/sharded", NsPerOp: 1000,
+		Extra: map[string]float64{"rps": 50000, "p99_ms": 2.0, "hit_rate_pct": 95},
+	}}
+
+	t.Run("throughput drop fails", func(t *testing.T) {
+		newR := []*Result{{
+			Name: "ServiceRPC/sharded", NsPerOp: 1000,
+			Extra: map[string]float64{"rps": 30000, "p99_ms": 2.0},
+		}}
+		report, regressed := diffResults(oldR, newR, 20)
+		if !regressed {
+			t.Fatalf("missed a -40%% rps regression:\n%s", report)
+		}
+		if !strings.Contains(report, "rps") || !strings.Contains(report, "REGRESSION") {
+			t.Errorf("report does not mark the rps regression:\n%s", report)
+		}
+	})
+
+	t.Run("throughput gain passes", func(t *testing.T) {
+		newR := []*Result{{
+			Name: "ServiceRPC/sharded", NsPerOp: 1000,
+			Extra: map[string]float64{"rps": 90000, "p99_ms": 2.0},
+		}}
+		if report, regressed := diffResults(oldR, newR, 20); regressed {
+			t.Fatalf("flagged an rps improvement as regression:\n%s", report)
+		}
+	})
+
+	t.Run("p99 growth fails", func(t *testing.T) {
+		newR := []*Result{{
+			Name: "ServiceRPC/sharded", NsPerOp: 1000,
+			Extra: map[string]float64{"rps": 50000, "p99_ms": 3.0},
+		}}
+		if _, regressed := diffResults(oldR, newR, 20); !regressed {
+			t.Fatal("missed a +50% p99_ms regression")
+		}
+	})
+
+	t.Run("informational extras never gate", func(t *testing.T) {
+		newR := []*Result{{
+			Name: "ServiceRPC/sharded", NsPerOp: 1000,
+			Extra: map[string]float64{"rps": 50000, "p99_ms": 2.0, "hit_rate_pct": 10},
+		}}
+		if _, regressed := diffResults(oldR, newR, 20); regressed {
+			t.Fatal("informational extra tripped the gate")
+		}
+	})
+}

@@ -109,6 +109,7 @@ func main() {
 		}
 		fmt.Printf("cluster    : %s (%d nodes)\n", st.Cluster, st.Nodes)
 		fmt.Printf("sim time   : %.1fs\n", st.SimSeconds)
+		fmt.Printf("epoch      : %d\n", st.Epoch)
 		fmt.Printf("apps       : %s\n", strings.Join(st.Apps, ", "))
 		fmt.Printf("avail CPU  : %s\n", fmtFloats(st.AvailCPU))
 		fmt.Printf("NIC util   : %s\n", fmtFloats(st.NICUtil))
@@ -129,6 +130,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("predicted execution time: %.3fs (critical rank %d)\n", r.Seconds, r.Critical)
+		if r.Degraded {
+			fmt.Printf("DEGRADED: stale monitoring data on nodes %v; prediction used profile-only fallback\n", r.StaleNodes)
+		}
 	case "compare":
 		if *app == "" || len(mappings) < 2 {
 			log.Fatal("compare needs -app and at least two -mapping flags")
@@ -142,7 +146,11 @@ func main() {
 			if i == r.Best {
 				marker = "*"
 			}
-			fmt.Printf("%s mapping %v: %.3fs\n", marker, mappings[i], s)
+			note := ""
+			if i < len(r.Degraded) && r.Degraded[i] {
+				note = fmt.Sprintf("  [degraded: stale nodes %v]", r.StaleNodes[i])
+			}
+			fmt.Printf("%s mapping %v: %.3fs%s\n", marker, mappings[i], s, note)
 		}
 	case "schedule":
 		if *app == "" || *pool == "" {
@@ -160,12 +168,15 @@ func main() {
 		fmt.Printf("predicted : %.3fs\n", r.Predicted)
 		fmt.Printf("evals     : %d\n", r.Evaluations)
 		fmt.Printf("scheduler : %dµs\n", r.SchedulerMicros)
+		if r.Degraded {
+			fmt.Printf("DEGRADED  : stale monitoring data on nodes %v; prediction used profile-only fallback\n", r.StaleNodes)
+		}
 	case "advance":
 		r, err := c.Advance(*seconds)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("sim time now %.1fs\n", r.SimSeconds)
+		fmt.Printf("sim time now %.1fs (epoch %d)\n", r.SimSeconds, r.Epoch)
 	case "metrics":
 		r, err := c.Metrics(*format)
 		if err != nil {

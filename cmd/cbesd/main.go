@@ -8,7 +8,7 @@
 //	cbesd [-listen 127.0.0.1:7411] [-cluster grove|centurion|test] [-db ./cbesdb]
 //	      [-apps lu.B.8,aztec.8,...] [-debug-listen 127.0.0.1:7412]
 //	      [-span-log spans.jsonl] [-max-clients 64] [-drain-timeout 5s]
-//	      [-request-timeout 30s] [-fault-crashes N] [-fault-degrades N]
+//	      [-request-timeout 30s] [-cache-size 4096] [-fault-crashes N] [-fault-degrades N]
 //	      [-fault-drops N] [-fault-stalls N] [-fault-seed S] [-fault-horizon 5m]
 //
 // With -debug-listen set, the daemon also serves an HTTP observability
@@ -74,6 +74,7 @@ func run() error {
 	maxClients := flag.Int("max-clients", 64, "maximum concurrently served RPC connections")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "shutdown budget for draining in-flight requests")
 	requestTimeout := flag.Duration("request-timeout", service.DefaultRequestTimeout, "per-request engine-lock queueing bound (busy error on expiry)")
+	cacheSize := flag.Int("cache-size", service.DefaultCacheSize, "prediction-cache entries (negative disables caching)")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the injected fault schedule")
 	faultCrashes := flag.Int("fault-crashes", 0, "node crash/recover pairs to inject (0 disables)")
 	faultDegrades := flag.Int("fault-degrades", 0, "link degrade/restore pairs to inject")
@@ -208,6 +209,7 @@ func run() error {
 			MaxClients:     *maxClients,
 			DrainTimeout:   *drainTimeout,
 			RequestTimeout: *requestTimeout,
+			CacheSize:      *cacheSize,
 		})
 	}()
 	sigc := make(chan os.Signal, 1)

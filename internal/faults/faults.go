@@ -159,17 +159,25 @@ func (in *Injector) Cancel() {
 	in.events = in.events[:0]
 }
 
-// apply performs one fault mutation. Runs in engine context.
+// apply performs one fault mutation. Runs in engine context. Kinds that
+// mutate the cluster behind the monitor's sensors (crashes, link
+// degradations) explicitly bump the monitor's snapshot epoch so
+// epoch-keyed prediction caches cannot serve pre-fault answers; the
+// monitor kinds bump it themselves.
 func (in *Injector) apply(f Fault) {
 	switch f.Kind {
 	case NodeCrash:
 		in.vc.Crash(f.Node)
+		in.bumpMonitor()
 	case NodeRecover:
 		in.vc.Recover(f.Node)
+		in.bumpMonitor()
 	case LinkDegrade:
 		in.net.DegradeLink(f.Link, f.Factor)
+		in.bumpMonitor()
 	case LinkRestore:
 		in.net.RestoreLink(f.Link)
+		in.bumpMonitor()
 	case SensorDrop:
 		in.mon.DropSensor(f.Node)
 	case SensorRestore:
@@ -180,6 +188,13 @@ func (in *Injector) apply(f Fault) {
 	in.injected++
 	in.counts[f.Kind]++
 	metricInjected.With(f.Kind.String()).Inc()
+}
+
+// bumpMonitor advances the snapshot epoch when a monitor is attached.
+func (in *Injector) bumpMonitor() {
+	if in.mon != nil {
+		in.mon.BumpEpoch()
+	}
 }
 
 // Injected reports how many faults have fired so far.

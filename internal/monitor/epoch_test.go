@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"testing"
+
+	"cbes/internal/cluster"
+	"cbes/internal/des"
+	"cbes/internal/simnet"
+	"cbes/internal/vcluster"
+)
+
+// newEpochMonitor builds a quiet monitored test cluster.
+func newEpochMonitor(t *testing.T, cfg Config) (*des.Engine, *SystemMonitor) {
+	t.Helper()
+	eng := des.NewEngine()
+	t.Cleanup(eng.Shutdown)
+	topo := cluster.NewTestTopology()
+	vc := vcluster.New(eng, topo)
+	net := simnet.New(eng, topo)
+	return eng, NewSystemMonitor(vc, net, cfg)
+}
+
+// TestEpochBumpsOnSample pins the core epoch contract: every completed
+// sampling round advances the epoch, and the snapshot is stamped with it.
+func TestEpochBumpsOnSample(t *testing.T) {
+	eng, m := newEpochMonitor(t, Config{Noise: NoNoise})
+	e0 := m.Epoch()
+	if e0 == 0 {
+		t.Fatal("constructor's immediate first sample did not bump the epoch")
+	}
+	if got := m.Snapshot().Epoch; got != m.Epoch() {
+		t.Fatalf("snapshot epoch %d != monitor epoch %d", got, m.Epoch())
+	}
+	eng.RunUntil(eng.Now() + 3*des.Second) // three sampling rounds
+	if e1 := m.Epoch(); e1 < e0+3 {
+		t.Fatalf("epoch %d after 3 sampling rounds, want >= %d", e1, e0+3)
+	}
+}
+
+// TestEpochStableWithoutStateChange: advancing simulated time by less
+// than a sampling interval changes nothing observable, so the epoch must
+// hold — this is what makes epoch-keyed caching worthwhile.
+func TestEpochStableWithoutStateChange(t *testing.T) {
+	eng, m := newEpochMonitor(t, Config{Noise: NoNoise})
+	s1 := m.Snapshot()
+	eng.RunUntil(eng.Now() + des.Second/4) // no sampling round fires
+	s2 := m.Snapshot()
+	if s1.Epoch != s2.Epoch {
+		t.Fatalf("epoch moved %d -> %d with no sample and no fault", s1.Epoch, s2.Epoch)
+	}
+}
+
+// TestEpochBumpsOnSensorTransitions covers the monitor-owned fault hooks.
+func TestEpochBumpsOnSensorTransitions(t *testing.T) {
+	_, m := newEpochMonitor(t, Config{Noise: NoNoise})
+	e := m.Epoch()
+	m.DropSensor(1)
+	if m.Epoch() <= e {
+		t.Fatal("DropSensor did not bump the epoch")
+	}
+	e = m.Epoch()
+	m.RestoreSensor(1)
+	if m.Epoch() <= e {
+		t.Fatal("RestoreSensor did not bump the epoch")
+	}
+	e = m.Epoch()
+	m.StallFor(10 * des.Second)
+	if m.Epoch() <= e {
+		t.Fatal("StallFor did not bump the epoch")
+	}
+}
+
+// TestEpochBumpsOnAgingHealthFlip: during a stall no sampling round runs,
+// but nodes still age past the TTL and flip to suspect. The flip is only
+// visible at Snapshot time, and the epoch must move with it — a cached
+// healthy prediction must not survive into the degraded view.
+func TestEpochBumpsOnAgingHealthFlip(t *testing.T) {
+	eng, m := newEpochMonitor(t, Config{Noise: NoNoise})
+	m.StallFor(100 * des.Second) // wedge sampling for the whole test
+	s1 := m.Snapshot()
+	if ok, suspect, _ := s1.HealthCounts(); suspect != 0 || ok == 0 {
+		t.Fatalf("cluster not healthy at start: %+v", s1.Health)
+	}
+	// Age everyone past the default TTL (3 intervals) with zero samples.
+	eng.RunUntil(eng.Now() + 10*des.Second)
+	s2 := m.Snapshot()
+	if _, suspect, _ := s2.HealthCounts(); suspect == 0 {
+		t.Fatal("nodes did not go suspect past the TTL")
+	}
+	if s2.Epoch <= s1.Epoch {
+		t.Fatalf("epoch did not advance across the OK->suspect flip (%d -> %d)", s1.Epoch, s2.Epoch)
+	}
+	// Identical state again: a further snapshot holds the epoch.
+	if s3 := m.Snapshot(); s3.Epoch != s2.Epoch {
+		t.Fatalf("epoch moved %d -> %d with unchanged health", s2.Epoch, s3.Epoch)
+	}
+}
+
+// TestSnapshotCloneCarriesEpoch keeps Clone in sync with the struct.
+func TestSnapshotCloneCarriesEpoch(t *testing.T) {
+	s := &Snapshot{Epoch: 42, AvailCPU: []float64{1}, NICUtil: []float64{0}}
+	if c := s.Clone(); c.Epoch != 42 {
+		t.Fatalf("Clone dropped the epoch: %d", c.Epoch)
+	}
+}

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"math/rand"
+	"sync/atomic"
 
 	"cbes/internal/des"
 	"cbes/internal/obs"
@@ -28,6 +29,9 @@ var (
 	gaugeNodesSuspect = obs.Default().Gauge(
 		"cbes_monitor_nodes_suspect",
 		"Nodes marked suspect (stale sensor data) in the most recent snapshot.")
+	gaugeEpoch = obs.Default().Gauge(
+		"cbes_monitor_snapshot_epoch",
+		"Monotonic version of the monitor's observable state; snapshots sharing an epoch are identical.")
 )
 
 // Health classifies a node's monitoring state in a snapshot.
@@ -63,7 +67,13 @@ func (h Health) String() string {
 // input the CBES core combines with profiles and mapping definitions. One
 // entry per node.
 type Snapshot struct {
-	At       des.Time
+	At des.Time
+	// Epoch is the monitor's state version at assembly time (see
+	// SystemMonitor.Epoch). Two snapshots of the same monitor with equal
+	// epochs carry identical forecasts and health; a consumer may therefore
+	// cache anything derived from a snapshot under its epoch and invalidate
+	// by epoch comparison alone. Hand-built snapshots leave it 0.
+	Epoch    uint64
 	AvailCPU []float64 // forecast CPU availability a new task would see (ACPU_j)
 	NICUtil  []float64 // forecast utilization of the node's edge link [0,1)
 	// Health classifies each node's monitoring state. A nil slice (older
@@ -79,6 +89,7 @@ type Snapshot struct {
 func (s *Snapshot) Clone() *Snapshot {
 	return &Snapshot{
 		At:        s.At,
+		Epoch:     s.Epoch,
 		AvailCPU:  append([]float64(nil), s.AvailCPU...),
 		NICUtil:   append([]float64(nil), s.NICUtil...),
 		Health:    append([]Health(nil), s.Health...),
@@ -216,6 +227,13 @@ type SystemMonitor struct {
 	// stalledUntil pauses the whole monitoring daemon (a wedged collector):
 	// sampling rounds before this time are skipped entirely.
 	stalledUntil des.Time
+	// epoch versions the monitor's observable state (forecasts + health).
+	// Atomic so readers outside engine context can poll it lock-free.
+	epoch atomic.Uint64
+	// lastHealth remembers the health vector of the previous Snapshot, so
+	// purely time-driven transitions (data aging past the TTL with no
+	// sampling round, e.g. during a stall) still bump the epoch.
+	lastHealth []Health
 }
 
 // NewSystemMonitor attaches sensors to every node of the virtual cluster
@@ -313,10 +331,29 @@ func (m *SystemMonitor) sample(rng *rand.Rand) {
 	m.lastSample = now
 	metricSamples.Inc()
 	metricRefreshes.Add(uint64(2 * refreshed))
+	m.BumpEpoch()
 }
 
 // Samples reports how many sampling rounds have completed.
 func (m *SystemMonitor) Samples() uint64 { return m.samples }
+
+// Epoch reports the monitor's current state version. It increases
+// monotonically on every event that can change what a Snapshot would
+// contain: a completed sampling round, a sensor dropping or reviving, a
+// monitor stall, an externally signalled fault transition (BumpEpoch),
+// and a health flip detected at Snapshot-assembly time (data aging past
+// the TTL). Between equal Epoch reads, snapshots are identical — the
+// invalidation contract the service's prediction cache is keyed on.
+// Safe to read from any goroutine.
+func (m *SystemMonitor) Epoch() uint64 { return m.epoch.Load() }
+
+// BumpEpoch advances the state version. The monitor calls it internally;
+// external mutators of the cluster the monitor watches (fault injection
+// crashing nodes or degrading links behind the sensors' back) call it so
+// epoch-keyed caches cannot outlive the transition.
+func (m *SystemMonitor) BumpEpoch() {
+	gaugeEpoch.Set(float64(m.epoch.Add(1)))
+}
 
 // Stop kills the sampling daemon. Must be called from outside engine
 // context only after the engine has stopped, or from engine context.
@@ -325,11 +362,17 @@ func (m *SystemMonitor) Stop() { m.daemon.Kill() }
 // DropSensor kills node i's sensor daemon (fault injection): the node
 // produces no further readings and its snapshot health becomes
 // HealthDown until RestoreSensor. Must be called from engine context.
-func (m *SystemMonitor) DropSensor(i int) { m.sensorDown[i] = true }
+func (m *SystemMonitor) DropSensor(i int) {
+	m.sensorDown[i] = true
+	m.BumpEpoch()
+}
 
 // RestoreSensor revives node i's sensor daemon; the next sampling round
 // refreshes its data. Must be called from engine context.
-func (m *SystemMonitor) RestoreSensor(i int) { m.sensorDown[i] = false }
+func (m *SystemMonitor) RestoreSensor(i int) {
+	m.sensorDown[i] = false
+	m.BumpEpoch()
+}
 
 // StallFor wedges the whole monitoring daemon for d of simulated time:
 // sampling rounds in the window are skipped, so every node's data ages
@@ -340,12 +383,21 @@ func (m *SystemMonitor) StallFor(d des.Time) {
 	if until > m.stalledUntil {
 		m.stalledUntil = until
 	}
+	m.BumpEpoch()
 }
 
 // Snapshot assembles the current cluster-wide forecast. The cost is O(N)
 // in the number of nodes: this, combined with the path-class latency model
 // (internal/netmodel), is the paper's O(N) approximation of cluster
 // resource availability.
+//
+// Snapshot must not race itself or the sampling daemon (call it with the
+// engine quiescent, as every existing caller does): it compares the
+// derived health vector against the previous call's to catch purely
+// time-driven transitions — a node whose data aged past the TTL since
+// the last snapshot flips to suspect without any sampling round, and the
+// epoch must advance with it or an epoch-keyed cache would keep serving
+// the node as healthy.
 func (m *SystemMonitor) Snapshot() *Snapshot {
 	n := len(m.cpuF)
 	s := &Snapshot{
@@ -374,11 +426,29 @@ func (m *SystemMonitor) Snapshot() *Snapshot {
 			suspect++
 		}
 	}
+	if m.lastHealth != nil && !healthEqual(m.lastHealth, s.Health) {
+		m.BumpEpoch()
+	}
+	m.lastHealth = append(m.lastHealth[:0], s.Health...)
+	s.Epoch = m.Epoch()
 	metricSnapshots.Inc()
 	gaugeSnapshotAge.Set((s.At - m.lastSample).Seconds())
 	gaugeNodesDown.Set(float64(down))
 	gaugeNodesSuspect.Set(float64(suspect))
 	return s
+}
+
+// healthEqual reports whether two health vectors are identical.
+func healthEqual(a, b []Health) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // LastHealthGauges reports the down/suspect node counts published by the

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+
+	"cbes/internal/core"
+	"cbes/internal/obs"
+)
+
+// Prediction-cache observability. Hit rate = hits / (hits + misses); the
+// entries gauge tracks live (current plus not-yet-evicted stale) entries.
+var (
+	cacheHits = obs.Default().Counter(
+		"cbes_predcache_hits_total", "Prediction-cache hits on the RPC read path.")
+	cacheMisses = obs.Default().Counter(
+		"cbes_predcache_misses_total", "Prediction-cache misses (full evaluation performed).")
+	cacheEvictions = obs.Default().Counter(
+		"cbes_predcache_evictions_total", "Prediction-cache entries evicted by LRU capacity.")
+	cacheEntries = obs.Default().Gauge(
+		"cbes_predcache_entries", "Prediction-cache entries currently resident.")
+)
+
+// DefaultCacheSize bounds the prediction cache when ServeOptions leaves
+// CacheSize zero.
+const DefaultCacheSize = 4096
+
+// predCache is a bounded LRU cache of *core.Prediction keyed by
+// (application, mapping signature, snapshot epoch). The epoch inside the
+// key is the invalidation mechanism: any state transition bumps the
+// monitor epoch, so stale entries become unreachable instantly — they
+// can never be returned for a newer epoch — and are recycled by LRU
+// pressure rather than swept. Cached predictions are shared read-only
+// across requests; callers must copy anything they intend to modify.
+type predCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	byK map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	pred *core.Prediction
+}
+
+// newPredCache builds a cache bounded to capacity entries (min 1).
+func newPredCache(capacity int) *predCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &predCache{cap: capacity, ll: list.New(), byK: map[string]*list.Element{}}
+}
+
+// get returns the cached prediction for key, refreshing its recency.
+func (c *predCache) get(key string) (*core.Prediction, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[key]
+	if !ok {
+		cacheMisses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	cacheHits.Inc()
+	return el.Value.(*cacheEntry).pred, true
+}
+
+// put inserts (or refreshes) a prediction, evicting the LRU tail past
+// capacity.
+func (c *predCache) put(key string, pred *core.Prediction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[key]; ok {
+		el.Value.(*cacheEntry).pred = pred
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byK[key] = c.ll.PushFront(&cacheEntry{key: key, pred: pred})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.byK, tail.Value.(*cacheEntry).key)
+		cacheEvictions.Inc()
+	}
+	cacheEntries.Set(float64(c.ll.Len()))
+}
+
+// len reports the resident entry count.
+func (c *predCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// predKey builds the cache key for (app, mapping, epoch). The mapping is
+// varint-packed rather than formatted: keys are built on every read-path
+// request and must stay cheap.
+func predKey(app string, mapping []int, epoch uint64) string {
+	buf := make([]byte, 0, len(app)+1+10*(len(mapping)+1))
+	buf = append(buf, app...)
+	buf = append(buf, 0)
+	buf = binary.AppendUvarint(buf, epoch)
+	for _, n := range mapping {
+		buf = binary.AppendVarint(buf, int64(n))
+	}
+	return string(buf)
+}
+
+// predictCached serves one prediction through the cache: a hit returns
+// the shared cached prediction, a miss evaluates and fills. The caller
+// supplies the view so the epoch in the key matches the snapshot being
+// evaluated against. With the cache disabled (nil) it degenerates to a
+// plain Predict.
+func (s *Server) predictCached(v *view, app string, eval *core.Evaluator, m core.Mapping) (*core.Prediction, error) {
+	if s.cache == nil {
+		return eval.Predict(m, v.snap)
+	}
+	key := predKey(app, m, v.epoch)
+	if pred, ok := s.cache.get(key); ok {
+		return pred, nil
+	}
+	pred, err := eval.Predict(m, v.snap)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(key, pred)
+	return pred, nil
+}

@@ -12,11 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/rpc"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cbes"
@@ -46,8 +48,17 @@ var (
 		"cbes_rpc_panics_recovered_total", "Handler panics recovered and returned as errors.")
 	rpcBusy = obs.Default().Counter(
 		"cbes_rpc_busy_total", "Requests rejected because the engine lock was not acquired in time.")
+	// rpcBusySeconds records how long rejected requests queued before the
+	// ErrBusy cutoff. Busy rejections are ALSO observed in cbes_rpc_seconds
+	// (they are part of the latency a client experienced); this series
+	// isolates them so saturation is visible on its own.
+	rpcBusySeconds = obs.Default().Histogram(
+		"cbes_rpc_busy_seconds", "Queue time of requests rejected with the busy error.", nil)
 	clientRetries = obs.Default().Counter(
 		"cbes_client_retries_total", "Client-side retries of transient RPC failures.")
+	scheduleCoalesced = obs.Default().Counter(
+		"cbes_schedule_coalesced_total",
+		"Schedule requests served by joining an identical in-flight request instead of searching again.")
 )
 
 // ErrBusy is returned (wrapped) when a request could not acquire the
@@ -65,15 +76,17 @@ func IsBusy(err error) bool {
 		(errors.Is(err, ErrBusy) || strings.Contains(err.Error(), "server busy (engine lock timeout)"))
 }
 
-// intercept wraps one RPC method body with instrumentation, panic
-// recovery, and the engine serialization lock (the simulation engine is
-// single-threaded by design, so every handler runs under the lock). Lock
-// acquisition is deadline-bounded: a request that cannot start within the
-// server's request timeout — e.g. queued behind a long Schedule — fails
-// fast with ErrBusy instead of piling up. Once a handler runs it is not
-// preempted (Go offers no safe preemption), so the timeout bounds queueing
-// time, not execution time. The in-flight gauge counts requests from
-// arrival, i.e. including time spent queued on the lock.
+// intercept wraps one writer RPC method body with instrumentation, panic
+// recovery, and the engine serialization lock (mutations drive the
+// single-threaded simulation engine, so every writer runs under the
+// lock). Lock acquisition is deadline-bounded: a request that cannot
+// start within the server's request timeout — e.g. queued behind a long
+// Advance — fails fast with ErrBusy instead of piling up. Once a handler
+// runs it is not preempted (Go offers no safe preemption), so the
+// timeout bounds queueing time, not execution time. The in-flight gauge
+// counts requests from arrival, i.e. including time spent queued on the
+// lock. Busy rejections are observed in the latency histogram too —
+// skipping them made p99 under saturation look better than reality.
 func (s *Server) intercept(method string, fn func() error) error {
 	rpcInflight.Add(1)
 	s.inflight.Add(1)
@@ -85,8 +98,11 @@ func (s *Server) intercept(method string, fn func() error) error {
 	select {
 	case s.lock <- struct{}{}:
 	case <-timer.C:
+		queued := time.Since(start).Seconds()
 		rpcBusy.Inc()
+		rpcBusySeconds.Observe(queued)
 		rpcRequests.With(method).Inc()
+		rpcSeconds.With(method).Observe(queued)
 		rpcErrors.With(method).Inc()
 		return fmt.Errorf("service: %s queued %v on the engine lock: %w", method, s.timeout, ErrBusy)
 	}
@@ -99,12 +115,42 @@ func (s *Server) intercept(method string, fn func() error) error {
 	return err
 }
 
-// invoke runs the handler body holding the engine lock, converting a panic
-// into an error so one poisoned request cannot kill the daemon (net/rpc
-// would otherwise crash the whole process) — and, crucially, so the engine
-// lock is still released for subsequent requests.
+// interceptRead wraps one read-only RPC method body: same
+// instrumentation and panic recovery as intercept, but no engine lock
+// and no queueing — the body runs against the immutable published view,
+// so any number of readers proceed concurrently with each other and
+// with a writer assembling the next view. Under SingleLock (the legacy
+// benchmark baseline) reads fall back to the serialized writer path.
+func (s *Server) interceptRead(method string, fn func() error) error {
+	if s.singleLock {
+		return s.intercept(method, fn)
+	}
+	rpcInflight.Add(1)
+	s.inflight.Add(1)
+	defer rpcInflight.Add(-1)
+	defer s.inflight.Done()
+	start := time.Now()
+	err := s.run(method, fn)
+	rpcRequests.With(method).Inc()
+	rpcSeconds.With(method).Observe(time.Since(start).Seconds())
+	if err != nil {
+		rpcErrors.With(method).Inc()
+	}
+	return err
+}
+
+// invoke runs the handler body holding the engine lock, releasing it on
+// every exit path.
 func (s *Server) invoke(method string, fn func() error) (err error) {
 	defer func() { <-s.lock }()
+	return s.run(method, fn)
+}
+
+// run executes a handler body, converting a panic into an error so one
+// poisoned request cannot kill the daemon (net/rpc would otherwise crash
+// the whole process) — and, for writers, so the engine lock is still
+// released for subsequent requests.
+func (s *Server) run(method string, fn func() error) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			rpcPanics.Inc()
@@ -123,10 +169,18 @@ type EvaluateArgs struct {
 	Mapping []int
 }
 
-// EvaluateReply carries the prediction.
+// EvaluateReply carries the prediction. Degraded and StaleNodes mirror
+// core.Prediction: they used to be computed server-side and silently
+// dropped at the RPC boundary, leaving clients unable to tell a
+// profile-only fallback prediction from a fully monitored one.
 type EvaluateReply struct {
 	Seconds  float64
 	Critical int // rank attaining the per-segment max in the first segment
+	// Degraded reports that at least one mapped node's monitoring data was
+	// stale, so the prediction used profile-only fallback values.
+	Degraded bool
+	// StaleNodes lists the mapped nodes that triggered the fallback.
+	StaleNodes []int
 }
 
 // ExplainArgs asks for a human-readable prediction breakdown.
@@ -148,9 +202,15 @@ type CompareArgs struct {
 }
 
 // CompareReply carries per-candidate predictions and the fastest index.
+// Degraded and StaleNodes are per-mapping, aligned with Seconds.
 type CompareReply struct {
 	Seconds []float64
 	Best    int
+	// Degraded[i] reports whether mapping i's prediction fell back to
+	// profile-only values for stale nodes.
+	Degraded []bool
+	// StaleNodes[i] lists mapping i's stale nodes (nil when none).
+	StaleNodes [][]int
 }
 
 // ScheduleArgs asks the service to find a mapping.
@@ -172,6 +232,11 @@ type ScheduleReply struct {
 	SchedulerMillis int64
 	// SchedulerMicros is the search wall time in microseconds.
 	SchedulerMicros int64
+	// Degraded reports that the chosen mapping's prediction rests on
+	// profile-only fallback values for the listed StaleNodes — the client
+	// may want a second opinion once monitoring recovers.
+	Degraded   bool
+	StaleNodes []int
 }
 
 // Metrics formats accepted by the Metrics RPC.
@@ -201,6 +266,9 @@ type StatusReply struct {
 	SimSeconds float64
 	AvailCPU   []float64
 	NICUtil    []float64
+	// Epoch is the snapshot epoch of the published read-path view; it
+	// advances whenever the monitored state changes (DESIGN.md §10).
+	Epoch uint64
 }
 
 // AdvanceArgs moves simulated time forward (demo control).
@@ -208,32 +276,57 @@ type AdvanceArgs struct {
 	Seconds float64
 }
 
-// AdvanceReply reports the new simulated time.
+// AdvanceReply reports the new simulated time and the snapshot epoch of
+// the view republished by the advance.
 type AdvanceReply struct {
 	SimSeconds float64
+	Epoch      uint64
 }
 
 // DefaultRequestTimeout bounds how long a request may queue on the engine
 // lock before failing fast with ErrBusy.
 const DefaultRequestTimeout = 30 * time.Second
 
-// Server serves CBES requests for one System. All requests are serialized
-// through intercept — the simulation engine is single-threaded by design —
-// except Metrics, which only reads atomics and must not block behind a
-// long-running Schedule.
+// Server serves CBES requests for one System under a single-writer /
+// many-reader regime (DESIGN.md §10). Reads — Evaluate, Explain,
+// Compare, Schedule, Status — run lock-free against the immutable
+// published view; only Advance (and view republication) holds the
+// engine lock, because only it drives the single-threaded simulation
+// engine. Metrics reads atomics and bypasses both paths.
 type Server struct {
 	sys *cbes.System
-	// lock is the engine serialization lock. A 1-slot channel rather than
-	// a sync.Mutex so acquisition can race a deadline (see intercept).
+	// lock is the engine serialization lock (writers only). A 1-slot
+	// channel rather than a sync.Mutex so acquisition can race a deadline
+	// (see intercept).
 	lock    chan struct{}
 	timeout time.Duration
 	// inflight tracks requests (not connections) for shutdown draining.
 	inflight sync.WaitGroup
+	// view is the epoch-stamped immutable state the read path runs
+	// against; the writer republishes it after every mutation.
+	view atomic.Pointer[view]
+	// cache memoizes predictions by (app, mapping, epoch); nil disables.
+	cache *predCache
+	// flights coalesces concurrent identical Schedule requests.
+	flights flightGroup
+	// singleLock routes reads through the writer lock and disables the
+	// cache — the pre-sharding behaviour, kept for A/B benchmarking.
+	singleLock bool
 }
 
-// NewServer wraps a System with the default request timeout.
+// NewServer wraps a System with the default request timeout and cache
+// size, and publishes the initial read-path view. The System's profiles
+// must be registered before NewServer (RPC cannot add apps, so the view
+// never needs to learn new evaluators).
 func NewServer(sys *cbes.System) *Server {
-	return &Server{sys: sys, lock: make(chan struct{}, 1), timeout: DefaultRequestTimeout}
+	s := &Server{
+		sys:     sys,
+		lock:    make(chan struct{}, 1),
+		timeout: DefaultRequestTimeout,
+		cache:   newPredCache(DefaultCacheSize),
+	}
+	s.refreshView()
+	return s
 }
 
 // SetRequestTimeout overrides the engine-lock queueing bound. Must be
@@ -244,10 +337,50 @@ func (s *Server) SetRequestTimeout(d time.Duration) {
 	}
 }
 
-// Evaluate predicts the execution time of one mapping.
+// SetCacheCapacity resizes the prediction cache (dropping its contents);
+// n <= 0 disables caching. Must be called before the server starts
+// handling requests.
+func (s *Server) SetCacheCapacity(n int) {
+	if n <= 0 {
+		s.cache = nil
+		return
+	}
+	s.cache = newPredCache(n)
+}
+
+// SetSingleLock selects the legacy single-lock path: every request,
+// reads included, serializes through the engine lock, and the prediction
+// cache and Schedule coalescing are disabled. Exists so the service
+// benchmark can measure the sharded read path against its predecessor;
+// production callers should never enable it. Must be called before the
+// server starts handling requests.
+func (s *Server) SetSingleLock(on bool) {
+	s.singleLock = on
+	if on {
+		s.cache = nil
+	}
+}
+
+// fillDegraded copies a prediction's degraded-mode markers into reply
+// fields. The StaleNodes copy matters: cached predictions are shared
+// read-only across requests and net/rpc encodes replies concurrently.
+func fillDegraded(pred *core.Prediction, degraded *bool, stale *[]int) {
+	*degraded = pred.Degraded
+	if len(pred.StaleNodes) > 0 {
+		*stale = append([]int(nil), pred.StaleNodes...)
+	}
+}
+
+// Evaluate predicts the execution time of one mapping. Lock-free: served
+// from the published view through the prediction cache.
 func (s *Server) Evaluate(args *EvaluateArgs, reply *EvaluateReply) error {
-	return s.intercept("Evaluate", func() error {
-		pred, err := s.sys.Predict(args.App, core.Mapping(args.Mapping))
+	return s.interceptRead("Evaluate", func() error {
+		v := s.view.Load()
+		eval, err := v.evaluator(args.App)
+		if err != nil {
+			return err
+		}
+		pred, err := s.predictCached(v, args.App, eval, core.Mapping(args.Mapping))
 		if err != nil {
 			return err
 		}
@@ -255,14 +388,20 @@ func (s *Server) Evaluate(args *EvaluateArgs, reply *EvaluateReply) error {
 		if len(pred.Segments) > 0 {
 			reply.Critical = pred.Segments[0].Critical
 		}
+		fillDegraded(pred, &reply.Degraded, &reply.StaleNodes)
 		return nil
 	})
 }
 
 // Explain predicts one mapping and returns the per-process breakdown.
 func (s *Server) Explain(args *ExplainArgs, reply *ExplainReply) error {
-	return s.intercept("Explain", func() error {
-		pred, err := s.sys.Predict(args.App, core.Mapping(args.Mapping))
+	return s.interceptRead("Explain", func() error {
+		v := s.view.Load()
+		eval, err := v.evaluator(args.App)
+		if err != nil {
+			return err
+		}
+		pred, err := s.predictCached(v, args.App, eval, core.Mapping(args.Mapping))
 		if err != nil {
 			return err
 		}
@@ -272,71 +411,148 @@ func (s *Server) Explain(args *ExplainArgs, reply *ExplainReply) error {
 	})
 }
 
-// Compare predicts several mappings and selects the fastest.
+// Compare predicts several mappings and selects the fastest. Each
+// candidate is served through the prediction cache individually, so a
+// batch repeated across clients costs one evaluation per novel mapping
+// per epoch.
 func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
-	return s.intercept("Compare", func() error {
+	return s.interceptRead("Compare", func() error {
 		if len(args.Mappings) == 0 {
 			return fmt.Errorf("service: no mappings")
 		}
-		eval, err := s.sys.Evaluator(args.App)
+		v := s.view.Load()
+		eval, err := v.evaluator(args.App)
 		if err != nil {
 			return err
 		}
-		ms := make([]core.Mapping, len(args.Mappings))
+		reply.Seconds = make([]float64, len(args.Mappings))
+		reply.Degraded = make([]bool, len(args.Mappings))
+		reply.StaleNodes = make([][]int, len(args.Mappings))
+		// NaN-aware best selection, mirroring core.Evaluator.Compare: a NaN
+		// prediction (corrupt profile or model) must never win by making
+		// every comparison false.
+		best := -1
 		for i, m := range args.Mappings {
-			ms[i] = core.Mapping(m)
+			pred, err := s.predictCached(v, args.App, eval, core.Mapping(m))
+			if err != nil {
+				return err
+			}
+			reply.Seconds[i] = pred.Seconds
+			fillDegraded(pred, &reply.Degraded[i], &reply.StaleNodes[i])
+			if math.IsNaN(pred.Seconds) {
+				continue
+			}
+			if best < 0 || pred.Seconds < reply.Seconds[best] {
+				best = i
+			}
 		}
-		preds, best, err := eval.Compare(ms, s.sys.Snapshot())
-		if err != nil {
-			return err
-		}
-		reply.Seconds = make([]float64, len(preds))
-		for i, p := range preds {
-			reply.Seconds[i] = p.Seconds
+		if best < 0 {
+			best = 0 // every candidate NaN: keep the legacy fallback
 		}
 		reply.Best = best
 		return nil
 	})
 }
 
-// Schedule finds a mapping with the requested algorithm.
+// Schedule finds a mapping with the requested algorithm. Lock-free, and
+// coalesced: concurrent requests with identical (app, algorithm, pool,
+// seed) against the same epoch share one search — scheduling is
+// deterministic in those inputs, so every follower receives the leader's
+// decision, verbatim.
 func (s *Server) Schedule(args *ScheduleArgs, reply *ScheduleReply) error {
-	return s.intercept("Schedule", func() error {
-		dec, err := s.sys.Schedule(args.App, cbes.Algorithm(args.Algorithm), args.Pool, args.Seed)
+	return s.interceptRead("Schedule", func() error {
+		v := s.view.Load()
+		if s.singleLock {
+			return s.scheduleOn(v, args, reply)
+		}
+		val, joined, err := s.flights.do(scheduleKey(v.epoch, args), func() (any, error) {
+			var r ScheduleReply
+			if err := s.scheduleOn(v, args, &r); err != nil {
+				return nil, err
+			}
+			return &r, nil
+		})
+		if joined {
+			scheduleCoalesced.Inc()
+		}
 		if err != nil {
 			return err
 		}
-		reply.Mapping = []int(dec.Mapping)
-		reply.Predicted = dec.Predicted
-		reply.Evaluations = dec.Evaluations
-		reply.SchedulerMillis = dec.SchedulerTime.Milliseconds()
-		reply.SchedulerMicros = dec.SchedulerTime.Microseconds()
+		*reply = *val.(*ScheduleReply) // shared backing arrays, read-only
 		return nil
 	})
 }
 
-// Status reports the service and cluster state.
+// scheduleKey builds the Schedule coalescing key. The epoch is part of
+// it: two identical requests straddling a state transition must not
+// share a decision.
+func scheduleKey(epoch uint64, args *ScheduleArgs) string {
+	var sb strings.Builder
+	sb.Grow(len(args.App) + len(args.Algorithm) + 12*len(args.Pool) + 24)
+	sb.WriteString(args.App)
+	sb.WriteByte(0)
+	sb.WriteString(args.Algorithm)
+	fmt.Fprintf(&sb, "\x00%d\x00%d\x00", args.Seed, epoch)
+	for _, n := range args.Pool {
+		fmt.Fprintf(&sb, "%d,", n)
+	}
+	return sb.String()
+}
+
+// scheduleOn runs one scheduling search against a view and fills the
+// reply, including the degraded-prediction markers for the chosen
+// mapping (a cache hit in the common case — the search just evaluated
+// it).
+func (s *Server) scheduleOn(v *view, args *ScheduleArgs, reply *ScheduleReply) error {
+	eval, err := v.evaluator(args.App)
+	if err != nil {
+		return err
+	}
+	dec, err := cbes.ScheduleOn(eval, v.snap, cbes.Algorithm(args.Algorithm), args.Pool, args.Seed)
+	if err != nil {
+		return err
+	}
+	reply.Mapping = []int(dec.Mapping)
+	reply.Predicted = dec.Predicted
+	reply.Evaluations = dec.Evaluations
+	reply.SchedulerMillis = dec.SchedulerTime.Milliseconds()
+	reply.SchedulerMicros = dec.SchedulerTime.Microseconds()
+	if pred, err := s.predictCached(v, args.App, eval, dec.Mapping); err == nil {
+		fillDegraded(pred, &reply.Degraded, &reply.StaleNodes)
+	}
+	return nil
+}
+
+// Status reports the service and cluster state from the published view.
 func (s *Server) Status(_ *StatusArgs, reply *StatusReply) error {
-	return s.intercept("Status", func() error {
-		snap := s.sys.Snapshot()
-		reply.Cluster = s.sys.Topo.Name
-		reply.Nodes = s.sys.Topo.NumNodes()
-		reply.Apps = s.sys.Apps()
-		reply.SimSeconds = s.sys.Eng.Now().Seconds()
-		reply.AvailCPU = snap.AvailCPU
-		reply.NICUtil = snap.NICUtil
+	return s.interceptRead("Status", func() error {
+		v := s.view.Load()
+		reply.Cluster = v.cluster
+		reply.Nodes = v.nodes
+		reply.Apps = v.apps
+		reply.SimSeconds = v.simSeconds
+		reply.AvailCPU = v.snap.AvailCPU
+		reply.NICUtil = v.snap.NICUtil
+		reply.Epoch = v.epoch
 		return nil
 	})
 }
 
-// Advance moves simulated time forward so monitors resample.
+// Advance moves simulated time forward so monitors resample. The only
+// writer: it holds the engine lock for the simulation run and
+// republishes the read-path view (snapshot, epoch, sim time) before
+// releasing it, so a read issued after an Advance returns always sees
+// the post-advance state.
 func (s *Server) Advance(args *AdvanceArgs, reply *AdvanceReply) error {
 	return s.intercept("Advance", func() error {
 		if args.Seconds < 0 {
 			return fmt.Errorf("service: negative advance")
 		}
 		s.sys.Advance(des.FromSeconds(args.Seconds))
-		reply.SimSeconds = s.sys.Eng.Now().Seconds()
+		s.refreshView()
+		v := s.view.Load()
+		reply.SimSeconds = v.simSeconds
+		reply.Epoch = v.epoch
 		return nil
 	})
 }
@@ -385,6 +601,13 @@ type ServeOptions struct {
 	// RequestTimeout bounds engine-lock queueing per request (ErrBusy on
 	// expiry). Default DefaultRequestTimeout.
 	RequestTimeout time.Duration
+	// CacheSize bounds the prediction cache: 0 selects DefaultCacheSize,
+	// negative disables caching.
+	CacheSize int
+	// SingleLock serializes every request through the engine lock and
+	// disables the prediction cache and Schedule coalescing — the
+	// pre-sharding behaviour, kept for A/B benchmarking only.
+	SingleLock bool
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -420,6 +643,12 @@ func ServeWith(sys *cbes.System, l net.Listener, opts ServeOptions) error {
 	opts = opts.withDefaults()
 	impl := NewServer(sys)
 	impl.SetRequestTimeout(opts.RequestTimeout)
+	if opts.CacheSize != 0 {
+		impl.SetCacheCapacity(opts.CacheSize)
+	}
+	if opts.SingleLock {
+		impl.SetSingleLock(true)
+	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(RPCName, impl); err != nil {
 		return err
@@ -535,10 +764,10 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 type Client struct {
 	addr        string
 	dialTimeout time.Duration
-	retry       RetryPolicy
 
-	mu sync.Mutex // guards rc across reconnects
-	rc *rpc.Client
+	mu    sync.Mutex // guards rc across reconnects, and retry
+	rc    *rpc.Client
+	retry RetryPolicy
 }
 
 // Dial connects to a CBES server with the default timeout.
@@ -578,8 +807,21 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 }
 
 // SetRetryPolicy overrides the transient-failure retry behaviour.
-// RetryPolicy{Max: -1} disables retries entirely.
-func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p.withDefaults() }
+// RetryPolicy{Max: -1} disables retries entirely. Safe to call
+// concurrently with in-flight calls; those already started keep the
+// policy they read at entry.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = p.withDefaults()
+}
+
+// retryPolicy snapshots the current retry policy.
+func (c *Client) retryPolicy() RetryPolicy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retry
+}
 
 // Close terminates the connection.
 func (c *Client) Close() error {
@@ -602,13 +844,14 @@ func (c *Client) reconnect(old *rpc.Client) {
 		return
 	}
 	c.mu.Lock()
-	if c.rc == old { // lost a race with another caller's reconnect: keep theirs
+	if c.rc == old { // still the broken client we saw fail: swap in the fresh one
 		c.rc.Close()
 		c.rc = rpc.NewClient(conn)
 		conn = nil
 	}
 	c.mu.Unlock()
 	if conn != nil {
+		// Lost a race with another caller's reconnect: keep theirs, drop ours.
 		conn.Close()
 	}
 }
@@ -646,18 +889,19 @@ func connError(err error) bool {
 // true. Non-idempotent methods (Advance) never retry: a lost reply leaves
 // the outcome unknown and a resend would double-apply it.
 func (c *Client) call(method string, args, reply any, idempotent bool) error {
+	retry := c.retryPolicy() // one coherent policy for the whole call
 	var err error
 	for attempt := 0; ; attempt++ {
 		rc := c.conn()
 		err = rc.Call(RPCName+"."+method, args, reply)
-		if err == nil || !idempotent || attempt >= c.retry.Max || !isTransient(err) {
+		if err == nil || !idempotent || attempt >= retry.Max || !isTransient(err) {
 			return err
 		}
 		clientRetries.Inc()
 		if connError(err) {
 			c.reconnect(rc)
 		}
-		time.Sleep(c.retry.delay(attempt))
+		time.Sleep(retry.delay(attempt))
 	}
 }
 

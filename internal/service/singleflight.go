@@ -1,0 +1,51 @@
+package service
+
+import "sync"
+
+// flightGroup coalesces concurrent calls that share a key: the first
+// caller runs fn, later callers with the same key block until it
+// finishes and receive the same result. A minimal stdlib-only
+// singleflight (the container bakes in no x/sync), specialized to the
+// Schedule path: scheduling is deterministic in (app, algorithm, pool,
+// seed, epoch), so N identical concurrent requests would burn N search
+// budgets computing one answer.
+//
+// Unlike a cache, entries live only while a call is in flight — results
+// are not retained, so a request arriving after completion recomputes
+// (or, for predictions, hits the prediction cache instead).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done   chan struct{}
+	val    any
+	err    error
+	shared int // followers that joined this flight
+}
+
+// do runs fn once per concurrent key, returning fn's result and whether
+// this caller joined an existing flight rather than leading one.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, joined bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		c.shared++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

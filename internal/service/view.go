@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"cbes/internal/core"
+	"cbes/internal/monitor"
+	"cbes/internal/obs"
+)
+
+var gaugeViewEpoch = obs.Default().Gauge(
+	"cbes_service_view_epoch",
+	"Snapshot epoch of the currently published read-path view.")
+
+// view is the immutable state the lock-free read path runs against: an
+// epoch-stamped availability snapshot plus the evaluator for every
+// registered application. The writer (Advance, and server start-up)
+// assembles a fresh view while holding the engine lock and publishes it
+// with one atomic pointer swap; readers load the pointer and never touch
+// the engine, the monitor, or the System's lazily-built maps.
+//
+// Immutability contract: nothing reachable from a published view is ever
+// written again — the snapshot is owned by the view, the evaluators are
+// safe for concurrent use by design, and the maps/slices are rebuilt
+// rather than patched on refresh. Handlers therefore may share slice
+// backing arrays from a view in replies, but must never modify them.
+type view struct {
+	epoch      uint64
+	snap       *monitor.Snapshot
+	evals      map[string]*core.Evaluator
+	evalErr    map[string]error // apps whose evaluator could not be built
+	apps       []string         // sorted registered application names
+	cluster    string
+	nodes      int
+	simSeconds float64
+}
+
+// evaluator resolves an application's evaluator from the view, producing
+// the same errors the locked path used to surface.
+func (v *view) evaluator(app string) (*core.Evaluator, error) {
+	if e, ok := v.evals[app]; ok {
+		return e, nil
+	}
+	if err, ok := v.evalErr[app]; ok {
+		return nil, err
+	}
+	return nil, fmt.Errorf("cbes: no profile registered for %q", app)
+}
+
+// refreshView rebuilds and publishes the read-path view. It must run
+// with the engine quiescent and the engine lock held (or before the
+// server accepts requests): it reads monitor forecasts and may lazily
+// build evaluators inside the System.
+func (s *Server) refreshView() {
+	snap := s.sys.Snapshot()
+	apps := append([]string(nil), s.sys.Apps()...)
+	sort.Strings(apps)
+	v := &view{
+		epoch:      snap.Epoch,
+		snap:       snap,
+		evals:      make(map[string]*core.Evaluator, len(apps)),
+		apps:       apps,
+		cluster:    s.sys.Topo.Name,
+		nodes:      s.sys.Topo.NumNodes(),
+		simSeconds: s.sys.Eng.Now().Seconds(),
+	}
+	for _, app := range apps {
+		e, err := s.sys.Evaluator(app)
+		if err != nil {
+			if v.evalErr == nil {
+				v.evalErr = map[string]error{}
+			}
+			v.evalErr[app] = err
+			continue
+		}
+		v.evals[app] = e
+	}
+	s.view.Store(v)
+	gaugeViewEpoch.Set(float64(v.epoch))
+}
