@@ -19,6 +19,7 @@ verify: build test
 ci:
 	$(GO) vet ./...
 	$(MAKE) faults-smoke
+	$(MAKE) obs-smoke
 	$(GO) test -race -timeout 45m ./...
 	$(MAKE) bench-quick
 	$(MAKE) service-bench-short
@@ -60,7 +61,8 @@ service-bench-short:
 
 # End-to-end observability smoke test: boots cbesd with -debug-listen,
 # drives a scheduling request, asserts /healthz plus non-zero core
-# series in /metrics, and checks clean SIGTERM shutdown.
+# series in /metrics, follows the printed trace ID through /debug/trace
+# and the decision flight recorder, and checks clean SIGTERM shutdown.
 obs-smoke:
 	sh scripts/obs_smoke.sh
 

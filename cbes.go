@@ -24,6 +24,7 @@
 package cbes
 
 import (
+	"context"
 	"fmt"
 
 	"cbes/internal/bench"
@@ -225,7 +226,15 @@ func (s *System) Schedule(app string, alg Algorithm, pool []int, seed int64) (*s
 // concurrent use and the decision is deterministic in (evaluator,
 // snapshot, algorithm, pool, seed).
 func ScheduleOn(e *core.Evaluator, snap *monitor.Snapshot, alg Algorithm, pool []int, seed int64) (*schedule.Decision, error) {
-	req := &schedule.Request{Eval: e, Snap: snap, Pool: pool, Seed: seed}
+	return ScheduleOnCtx(context.Background(), e, snap, alg, pool, seed)
+}
+
+// ScheduleOnCtx is ScheduleOn with a caller context: when ctx carries an
+// active trace span (obs.ContextWithSpan), the scheduling decision and
+// its per-restart search spans join that trace — the service tier uses
+// this to extend each RPC's causal tree down into the search.
+func ScheduleOnCtx(ctx context.Context, e *core.Evaluator, snap *monitor.Snapshot, alg Algorithm, pool []int, seed int64) (*schedule.Decision, error) {
+	req := &schedule.Request{Eval: e, Snap: snap, Pool: pool, Seed: seed, Ctx: ctx}
 	switch alg {
 	case AlgCS:
 		return schedule.SimulatedAnnealing(req)

@@ -8,6 +8,13 @@
 //	cbesctl [-addr ...] schedule -app lu.B.8 -alg cs -pool 0-7,10-21 [-seed 1]
 //	cbesctl [-addr ...] advance  -seconds 30
 //	cbesctl [-addr ...] metrics  [-format prom|json]
+//	cbesctl [-addr ...] decisions [-n 20] [-kind schedule] [-app lu.B.8] [-trace HEXID]
+//
+// Commands that make the server decide something (evaluate, compare,
+// schedule) print the request's trace ID; feed it to the daemon's
+// /debug/trace?id=... endpoint for the causal flame view, or to
+// `cbesctl decisions -trace ...` for the matching flight-recorder
+// record.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cbes/internal/obs"
 	"cbes/internal/service"
 )
 
@@ -85,6 +93,9 @@ func main() {
 	seconds := sub.Float64("seconds", 10, "simulated seconds to advance")
 	explain := sub.Bool("explain", false, "evaluate: show the per-process R/C breakdown")
 	format := sub.String("format", "prom", "metrics format: prom (Prometheus text) or json")
+	n := sub.Int("n", 20, "decisions: max records to fetch (0 for all resident)")
+	kind := sub.String("kind", "", "decisions: filter by kind (schedule, evaluate, explain, compare)")
+	traceID := sub.String("trace", "", "decisions: filter by hex trace id")
 	var mappings mappingsFlag
 	sub.Var(&mappings, "mapping", "mapping as node list (repeatable for compare)")
 	if err := sub.Parse(flag.Args()[1:]); err != nil {
@@ -130,6 +141,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("predicted execution time: %.3fs (critical rank %d)\n", r.Seconds, r.Critical)
+		if r.TraceID != "" {
+			fmt.Printf("trace: %s\n", r.TraceID)
+		}
 		if r.Degraded {
 			fmt.Printf("DEGRADED: stale monitoring data on nodes %v; prediction used profile-only fallback\n", r.StaleNodes)
 		}
@@ -152,6 +166,9 @@ func main() {
 			}
 			fmt.Printf("%s mapping %v: %.3fs%s\n", marker, mappings[i], s, note)
 		}
+		if r.TraceID != "" {
+			fmt.Printf("trace: %s\n", r.TraceID)
+		}
 	case "schedule":
 		if *app == "" || *pool == "" {
 			log.Fatal("schedule needs -app and -pool")
@@ -168,6 +185,9 @@ func main() {
 		fmt.Printf("predicted : %.3fs\n", r.Predicted)
 		fmt.Printf("evals     : %d\n", r.Evaluations)
 		fmt.Printf("scheduler : %dµs\n", r.SchedulerMicros)
+		if r.TraceID != "" {
+			fmt.Printf("trace     : %s\n", r.TraceID)
+		}
 		if r.Degraded {
 			fmt.Printf("DEGRADED  : stale monitoring data on nodes %v; prediction used profile-only fallback\n", r.StaleNodes)
 		}
@@ -177,6 +197,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("sim time now %.1fs (epoch %d)\n", r.SimSeconds, r.Epoch)
+	case "decisions":
+		r, err := c.Decisions(*n, *kind, *app, *traceID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d record(s) shown, %d recorded since start\n", len(r.Decisions), r.Total)
+		for _, d := range r.Decisions {
+			printDecision(d)
+		}
 	case "metrics":
 		r, err := c.Metrics(*format)
 		if err != nil {
@@ -191,6 +220,39 @@ func main() {
 	}
 }
 
+// printDecision renders one flight-recorder record in a compact
+// one-decision-per-paragraph form.
+func printDecision(d obs.Decision) {
+	fmt.Printf("%s  %-8s %-10s trace=%s epoch=%d\n",
+		d.Time.Format("15:04:05.000"), d.Kind, d.App, orDash(d.TraceID), d.Epoch)
+	if d.Algorithm != "" {
+		fmt.Printf("  alg=%s seed=%d evals=%d scheduler=%dµs\n",
+			d.Algorithm, d.Seed, d.Evaluations, d.SchedulerMicros)
+	}
+	if d.CacheLookups > 0 {
+		fmt.Printf("  cache: %d/%d hit\n", d.CacheHits, d.CacheLookups)
+	}
+	if d.Coalesced {
+		fmt.Printf("  coalesced: joined in-flight search of trace %s\n", orDash(d.LeaderTraceID))
+	}
+	if len(d.Mapping) > 0 {
+		fmt.Printf("  mapping=%v predicted=%.3fs\n", d.Mapping, d.Predicted)
+	}
+	if d.Degraded {
+		fmt.Printf("  DEGRADED: stale nodes %v\n", d.StaleNodes)
+	}
+	if d.Err != "" {
+		fmt.Printf("  error: %s\n", d.Err)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
 func fmtFloats(xs []float64) string {
 	var parts []string
 	for _, x := range xs {
@@ -200,6 +262,6 @@ func fmtFloats(xs []float64) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cbesctl [-addr host:port] status|evaluate|compare|schedule|advance|metrics [flags]")
+	fmt.Fprintln(os.Stderr, "usage: cbesctl [-addr host:port] status|evaluate|compare|schedule|advance|metrics|decisions [flags]")
 	os.Exit(2)
 }

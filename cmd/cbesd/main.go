@@ -68,6 +68,8 @@ func run() error {
 	listen := flag.String("listen", "127.0.0.1:7411", "address to serve RPC on")
 	debugListen := flag.String("debug-listen", "", "address for the HTTP debug endpoint (/metrics, /healthz, /readyz, pprof); empty disables")
 	spanLog := flag.String("span-log", "", "append traced spans as JSONL to this file; empty disables")
+	traceSample := flag.Int("trace-sample", 1, "head-sample 1 trace in N (1 keeps all; errored or slow spans are kept regardless)")
+	traceSlow := flag.Duration("trace-slow", 0, "tail-keep cutoff: spans at least this slow always record (0 selects the 100ms default)")
 	clusterName := flag.String("cluster", "grove", "testbed: grove, centurion, or test (small 8-node topology)")
 	dbDir := flag.String("db", "./cbesdb", "CBES database directory (models/profiles cache)")
 	apps := flag.String("apps", "lu.B.8,aztec.8,hpl.5000.8", "comma-separated application models to profile")
@@ -108,6 +110,7 @@ func run() error {
 		defer f.Close()
 		obs.DefaultTracer().SetSink(f)
 	}
+	obs.DefaultTracer().SetSampling(*traceSample, *traceSlow)
 
 	sys := cbes.NewSystem(topo, cbes.Config{})
 	defer sys.Close()
@@ -188,13 +191,13 @@ func run() error {
 			return err
 		}
 		probes := &probes{sys: sys}
-		debugSrv = &http.Server{Handler: obs.DebugMux(obs.Default(), obs.DefaultTracer(), probes.live, probes.ready)}
+		debugSrv = &http.Server{Handler: obs.DebugMux(obs.Default(), obs.DefaultTracer(), obs.DefaultRecorder(), probes.live, probes.ready)}
 		go func() {
 			if err := debugSrv.Serve(dl); err != nil && err != http.ErrServerClosed {
 				log.Printf("cbesd: debug endpoint: %v", err)
 			}
 		}()
-		log.Printf("cbesd: debug endpoint on http://%s (/metrics /debug/vars /debug/spans /healthz /readyz /debug/pprof)", dl.Addr())
+		log.Printf("cbesd: debug endpoint on http://%s (/metrics /debug/vars /debug/spans /debug/trace /debug/decisions /healthz /readyz /debug/pprof)", dl.Addr())
 	}
 
 	fmt.Printf("cbesd: serving %s (%d nodes) on %s, apps: %s\n",

@@ -6,6 +6,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -36,6 +37,44 @@ var (
 	gaugeFinalTemp = obs.Default().Gauge(
 		"cbes_sa_final_temp", "Final temperature of the last finished run.")
 )
+
+// convergence collects (evaluations, best-energy) samples while a run
+// improves, bounded so a span attribute stays small. Only allocated
+// when the run's span is recorded (tracer enabled), so the fast path
+// never pays for it.
+type convergence struct {
+	samples [][2]float64
+}
+
+// convergenceCap bounds samples per run; improvements past the cap keep
+// overwriting the last slot so the final best is always present.
+const convergenceCap = 64
+
+func (c *convergence) observe(evals int, bestE float64) {
+	if c == nil {
+		return
+	}
+	s := [2]float64{float64(evals), bestE}
+	if len(c.samples) >= convergenceCap {
+		c.samples[len(c.samples)-1] = s
+		return
+	}
+	c.samples = append(c.samples, s)
+}
+
+func (c *convergence) attach(span *obs.ActiveSpan) {
+	if c != nil && len(c.samples) > 0 {
+		span.Attr("convergence", c.samples)
+	}
+}
+
+// newConvergence returns a collector only when the span will record it.
+func newConvergence(span *obs.ActiveSpan) *convergence {
+	if span == nil {
+		return nil
+	}
+	return &convergence{}
+}
 
 // observeRun publishes one finished run's statistics and span.
 func observeRun(kind string, initialTemp, bestE float64, st Stats, span *obs.ActiveSpan) {
@@ -79,6 +118,11 @@ type Config struct {
 	MaxEvaluations int
 	// Seed drives the proposal and acceptance randomness.
 	Seed int64
+	// Ctx, when non-nil, parents this run's trace span under the
+	// context's active span (obs.StartSpan), so a scheduling decision's
+	// restarts appear as children of its schedule.decision span. Nil
+	// records the run as a root span, the pre-causal behaviour.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -113,13 +157,15 @@ type Stats struct {
 // must return a fresh state (or a modified copy).
 func Minimize[S any](cfg Config, initial S, energy func(S) float64, neighbor func(S, *rand.Rand) S) (S, float64, Stats) {
 	cfg = cfg.withDefaults()
-	span := obs.DefaultTracer().Start("anneal.run")
+	span, _ := obs.StartSpan(cfg.Ctx, "anneal.run")
+	conv := newConvergence(span)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	cur := initial
 	curE := energy(cur)
 	best, bestE := cur, curE
 	st := Stats{Evaluations: 1}
+	conv.observe(st.Evaluations, bestE)
 
 	temp := cfg.InitialTemp
 	if temp <= 0 {
@@ -139,12 +185,14 @@ func Minimize[S any](cfg Config, initial S, energy func(S) float64, neighbor fun
 				if curE < bestE {
 					best, bestE = cur, curE
 					st.Improved++
+					conv.observe(st.Evaluations, bestE)
 				}
 			}
 		}
 		temp *= cfg.Cooling
 	}
 	st.FinalTemp = temp
+	conv.attach(span)
 	observeRun("full", minTemp/cfg.MinTemp, bestE, st, span)
 	return best, bestE, st
 }
@@ -221,12 +269,14 @@ type IncrementalProblem[M any] struct {
 // count against it, and the total never exceeds it.
 func MinimizeIncremental[M any](cfg Config, p IncrementalProblem[M]) (float64, Stats) {
 	cfg = cfg.withDefaults()
-	span := obs.DefaultTracer().Start("anneal.run")
+	span, _ := obs.StartSpan(cfg.Ctx, "anneal.run")
+	conv := newConvergence(span)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	curE := p.InitialEnergy
 	bestE := curE
 	st := Stats{Evaluations: 1}
+	conv.observe(st.Evaluations, bestE)
 	if p.OnBest != nil {
 		p.OnBest()
 	}
@@ -266,6 +316,7 @@ func MinimizeIncremental[M any](cfg Config, p IncrementalProblem[M]) (float64, S
 			if curE < bestE {
 				bestE = curE
 				st.Improved++
+				conv.observe(st.Evaluations, bestE)
 				if p.OnBest != nil {
 					p.OnBest()
 				}
@@ -298,6 +349,7 @@ func MinimizeIncremental[M any](cfg Config, p IncrementalProblem[M]) (float64, S
 				if curE < bestE {
 					bestE = curE
 					st.Improved++
+					conv.observe(st.Evaluations, bestE)
 					if p.OnBest != nil {
 						p.OnBest()
 					}
@@ -309,6 +361,7 @@ func MinimizeIncremental[M any](cfg Config, p IncrementalProblem[M]) (float64, S
 		temp *= cfg.Cooling
 	}
 	st.FinalTemp = temp
+	conv.attach(span)
 	observeRun("incremental", minTemp/cfg.MinTemp, bestE, st, span)
 	return bestE, st
 }

@@ -5,6 +5,7 @@
 package genetic
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -40,6 +41,9 @@ type Config struct {
 	MaxEvaluations int
 	// Seed drives all randomness.
 	Seed int64
+	// Ctx, when non-nil, parents this run's trace span under the
+	// context's active span (nil records a root span).
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +95,7 @@ type scored[G any] struct {
 // fitness, and statistics.
 func Minimize[G any](cfg Config, ops Ops[G]) (G, float64, Stats) {
 	cfg = cfg.withDefaults()
+	span, _ := obs.StartSpan(cfg.Ctx, "ga.run")
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	st := Stats{}
 
@@ -132,6 +137,10 @@ func Minimize[G any](cfg Config, ops Ops[G]) (G, float64, Stats) {
 	metricGenerations.Add(uint64(st.Generations))
 	metricEvals.Add(uint64(st.Evaluations))
 	gaugeBestFitness.Set(pop[0].f)
+	span.Attr("generations", st.Generations).
+		Attr("evals", st.Evaluations).
+		Attr("best_fitness", pop[0].f).
+		End()
 	return pop[0].g, pop[0].f, st
 }
 

@@ -1,0 +1,154 @@
+// Chrome trace-event export: renders one trace's spans as the JSON
+// object format Perfetto (https://ui.perfetto.dev) and chrome://tracing
+// load directly — the /debug/trace?id=... endpoint. Each span becomes a
+// complete ("X") event; events are laid out on synthetic tracks so that
+// spans sharing a track always nest (child fully inside parent), which
+// is the containment rule those viewers use to draw flame stacks.
+// Concurrent siblings — parallel SA restarts under one scheduling
+// decision — therefore land on separate tracks instead of rendering as
+// a corrupted stack.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// chromeEvent is one trace-event JSON object (the subset we emit).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`  // microseconds
+	Dur  int64          `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container format; Perfetto accepts it
+// with metadata alongside the event array.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteChromeTrace renders spans (typically one trace tree from
+// Tracer.TraceSpans) as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans))
+	for i, tid := range assignTracks(spans) {
+		sp := spans[i]
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  "cbes",
+			Ph:   "X",
+			Ts:   sp.Start.UnixMicro(),
+			Dur:  int64(sp.Seconds * 1e6),
+			Pid:  1,
+			Tid:  tid,
+		}
+		if ev.Dur < 1 {
+			ev.Dur = 1 // zero-width events vanish in the viewer
+		}
+		if len(sp.Attrs) > 0 || sp.ID != "" {
+			ev.Args = make(map[string]any, len(sp.Attrs)+2)
+			for _, a := range sp.Attrs {
+				ev.Args[a.Key] = a.Val
+			}
+			ev.Args["span"] = sp.ID
+			if sp.Parent != "" {
+				ev.Args["parent"] = sp.Parent
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]any{"source": "cbes", "spans": len(spans)},
+	})
+}
+
+// assignTracks maps each span index to a track (tid) such that any two
+// spans on the same track are either disjoint in time or one contains
+// the other — the invariant the trace viewers' nesting layout needs.
+// Greedy first-fit over spans sorted by (start, -duration), so a parent
+// is placed before its children and a child prefers its parent's track.
+func assignTracks(spans []Span) []int {
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := spans[order[a]], spans[order[b]]
+		if !sa.Start.Equal(sb.Start) {
+			return sa.Start.Before(sb.Start)
+		}
+		return sa.Seconds > sb.Seconds
+	})
+	type placed struct{ start, end int64 } // microseconds
+	var tracks [][]placed
+	tids := make([]int, len(spans))
+	for _, i := range order {
+		sp := spans[i]
+		s := sp.Start.UnixMicro()
+		e := s + int64(sp.Seconds*1e6)
+		tid := -1
+		for t := range tracks {
+			ok := true
+			for _, p := range tracks[t] {
+				disjoint := e <= p.start || s >= p.end
+				contains := (s >= p.start && e <= p.end) || (p.start >= s && p.end <= e)
+				if !disjoint && !contains {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				tid = t
+				break
+			}
+		}
+		if tid < 0 {
+			tracks = append(tracks, nil)
+			tid = len(tracks) - 1
+		}
+		tracks[tid] = append(tracks[tid], placed{s, e})
+		tids[i] = tid
+	}
+	return tids
+}
+
+// TraceHandler serves one trace tree as Chrome trace-event JSON — the
+// /debug/trace?id=<hex trace id> endpoint. Download the body and open
+// it in Perfetto (or chrome://tracing) to see the RPC → cache → search
+// → anneal-restart flame.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		idStr := req.URL.Query().Get("id")
+		if idStr == "" {
+			http.Error(w, "obs: missing ?id=<trace id>", http.StatusBadRequest)
+			return
+		}
+		id, err := ParseID(idStr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans := t.TraceSpans(id)
+		if len(spans) == 0 {
+			http.Error(w, fmt.Sprintf("obs: no spans recorded for trace %s (evicted or never sampled?)", FormatID(id)),
+				http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		WriteChromeTrace(w, spans) //nolint:errcheck // best-effort debug endpoint
+	})
+}

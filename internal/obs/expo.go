@@ -183,20 +183,22 @@ func probeHandler(check func() error) http.HandlerFunc {
 
 // DebugMux builds the debug-endpoint mux cbesd serves on -debug-listen:
 //
-//	/metrics     — Prometheus text exposition of reg
-//	/debug/vars  — expvar JSON (reg published as "cbes")
-//	/debug/spans — recent spans of tr as a JSON array
-//	/healthz     — liveness probe; live() == nil ⇒ 200 "ok"
-//	/readyz      — readiness probe; ready() == nil ⇒ 200 "ok"
-//	/debug/pprof — the standard runtime profiles
+//	/metrics         — Prometheus text exposition of reg
+//	/debug/vars      — expvar JSON (reg published as "cbes")
+//	/debug/spans     — recent spans of tr as a JSON array (?n=, ?name=, ?trace=)
+//	/debug/trace     — one trace tree as Chrome trace-event JSON (?id=)
+//	/debug/decisions — flight-recorder decision records (?n=, ?kind=, ?app=, ?trace=)
+//	/healthz         — liveness probe; live() == nil ⇒ 200 "ok"
+//	/readyz          — readiness probe; ready() == nil ⇒ 200 "ok"
+//	/debug/pprof     — the standard runtime profiles
 //
 // Liveness answers "is the process able to serve at all" (restart it if
 // not); readiness answers "should traffic be routed here right now" — a
 // daemon serving a degraded cluster view stays live but goes unready. A
 // nil ready falls back to live, so single-probe callers keep the old
-// one-check behaviour on both paths; live and tr may also be nil
-// (always-healthy, no span endpoint).
-func DebugMux(reg *Registry, tr *Tracer, live, ready func() error) *http.ServeMux {
+// one-check behaviour on both paths; live, tr, and rec may also be nil
+// (always-healthy, no span/trace/decision endpoints).
+func DebugMux(reg *Registry, tr *Tracer, rec *Recorder, live, ready func() error) *http.ServeMux {
 	PublishExpvar(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
@@ -208,6 +210,10 @@ func DebugMux(reg *Registry, tr *Tracer, live, ready func() error) *http.ServeMu
 	mux.HandleFunc("/readyz", probeHandler(ready))
 	if tr != nil {
 		mux.Handle("/debug/spans", SpanHandler(tr))
+		mux.Handle("/debug/trace", TraceHandler(tr))
+	}
+	if rec != nil {
+		mux.Handle("/debug/decisions", DecisionHandler(rec))
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -212,7 +212,7 @@ func TestDebugMux(t *testing.T) {
 	r.Counter("cbes_test_total", "").Inc()
 	tr := NewTracer(8)
 	tr.Start("boot").End()
-	mux := DebugMux(r, tr, nil, nil)
+	mux := DebugMux(r, tr, nil, nil, nil)
 
 	get := func(path string) (int, string) {
 		rec := httptest.NewRecorder()
@@ -237,7 +237,7 @@ func TestDebugMux(t *testing.T) {
 }
 
 func TestDebugMuxUnhealthy(t *testing.T) {
-	mux := DebugMux(NewRegistry(), nil, func() error { return errTest }, nil)
+	mux := DebugMux(NewRegistry(), nil, nil, func() error { return errTest }, nil)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
 	if rec.Code != 503 {
@@ -255,7 +255,7 @@ func TestDebugMuxUnhealthy(t *testing.T) {
 // degraded daemon answers 200 on /healthz and 503 on /readyz.
 func TestDebugMuxSplitProbes(t *testing.T) {
 	degraded := true
-	mux := DebugMux(NewRegistry(), nil,
+	mux := DebugMux(NewRegistry(), nil, nil,
 		func() error { return nil },
 		func() error {
 			if degraded {

@@ -22,6 +22,7 @@
 package schedule
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -67,16 +68,31 @@ var (
 // carries the specifics.
 var ErrInfeasible = errors.New("infeasible")
 
+// begin opens one scheduling decision's span — eagerly, unlike the
+// metrics (deferred in observe), because the search's anneal/GA child
+// spans must parent under it while it is still active. The span joins
+// the request's trace when Request.Ctx carries one (the service RPC
+// path) and roots a fresh trace otherwise (experiments, direct calls).
+func begin(ctx context.Context, alg string, req *Request) (*obs.ActiveSpan, context.Context) {
+	span, ctx := obs.StartSpan(ctx, "schedule.decision")
+	span.Attr("alg", alg)
+	if span != nil && req.Eval != nil && req.Eval.Prof != nil {
+		span.Attr("app", req.Eval.Prof.App).
+			Attr("pool", len(req.Pool)).
+			Attr("seed", req.Seed)
+	}
+	return span, ctx
+}
+
 // observe records one finished scheduling decision (deferred by every
 // scheduler entry point; start is captured when the defer is declared).
-func observe(alg string, start time.Time, d **Decision, err *error) {
+func observe(alg string, start time.Time, span *obs.ActiveSpan, d **Decision, err *error) {
 	secs := time.Since(start).Seconds()
 	metricRequests.With(alg).Inc()
 	metricSeconds.With(alg).Observe(secs)
-	span := obs.DefaultTracer().StartAt("schedule.decision", start).Attr("alg", alg)
 	if *err != nil {
 		metricErrors.With(alg).Inc()
-		span.Attr("error", (*err).Error()).End()
+		span.Error(*err).End()
 		return
 	}
 	dec := *d
@@ -117,6 +133,11 @@ type Request struct {
 	// Maximize searches for the worst mapping instead of the best — used
 	// by the worst-vs-best evaluation scenarios.
 	Maximize bool
+	// Ctx, when non-nil, carries the caller's active trace span
+	// (obs.StartSpan): the decision span and its per-restart anneal child
+	// spans join that trace, so one RPC's causal tree reaches from the
+	// interceptor down to individual restarts. Nil roots a fresh trace.
+	Ctx context.Context
 	// Constraint, when non-nil, restricts the search to mappings for which
 	// it returns true (e.g. "must include a SPARC node" to stay
 	// representative of a node group). Unsatisfying mappings receive a
@@ -308,7 +329,8 @@ func predictFull(req *Request, m core.Mapping) float64 {
 
 // Random is the RS scheduler: an arbitrary valid mapping, no evaluation.
 func Random(req *Request) (d *Decision, err error) {
-	defer observe("rs", time.Now(), &d, &err)
+	span, _ := begin(req.Ctx, "rs", req)
+	defer observe("rs", time.Now(), span, &d, &err)
 	req, err = req.prepare()
 	if err != nil {
 		return nil, err
@@ -342,7 +364,10 @@ type saResult struct {
 
 // saRestart runs one anneal from a random initial mapping on the
 // incremental fast path, spending at most budget energy evaluations.
-func saRestart(req *Request, sign float64, seed int64, budget int) saResult {
+// ctx carries the decision span so the restart's anneal.run span lands
+// in the same trace (restarts run on worker goroutines; the span parent
+// is immutable, so concurrent child creation is safe).
+func saRestart(ctx context.Context, req *Request, sign float64, seed int64, budget int) saResult {
 	rng := rand.New(rand.NewSource(seed))
 	initial := randomMapping(req, rng)
 	sc := req.Eval.Scorer()
@@ -360,6 +385,7 @@ func saRestart(req *Request, sign float64, seed int64, budget int) saResult {
 	bestE, st := anneal.MinimizeIncremental(anneal.Config{
 		MaxEvaluations: budget,
 		Seed:           seed + 1,
+		Ctx:            ctx,
 	}, anneal.IncrementalProblem[core.Move]{
 		InitialEnergy: penalize(sign * raw),
 		Propose: func(rr *rand.Rand) (core.Move, bool) {
@@ -379,7 +405,7 @@ func saRestart(req *Request, sign float64, seed int64, budget int) saResult {
 // effort budget exactly across independent restarts that execute
 // concurrently on a bounded worker pool, and keeping the best result
 // (ties broken by restart index, so the outcome is deterministic).
-func saSchedule(req *Request) (core.Mapping, float64, int, error) {
+func saSchedule(ctx context.Context, req *Request) (core.Mapping, float64, int, error) {
 	restarts := req.Restarts
 	if restarts <= 0 {
 		restarts = 4
@@ -413,7 +439,7 @@ func saSchedule(req *Request) (core.Mapping, float64, int, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[r] = saRestart(req, sign, req.Seed+int64(1000*r), budget)
+			results[r] = saRestart(ctx, req, sign, req.Seed+int64(1000*r), budget)
 		}(r, budget)
 	}
 	wg.Wait()
@@ -445,13 +471,14 @@ func saSchedule(req *Request) (core.Mapping, float64, int, error) {
 // mapping-evaluation operation as energy function, served by the
 // incremental fast path (Scorer delta-evaluation per proposed move).
 func SimulatedAnnealing(req *Request) (d *Decision, err error) {
-	defer observe("cs", time.Now(), &d, &err)
+	span, ctx := begin(req.Ctx, "cs", req)
+	defer observe("cs", time.Now(), span, &d, &err)
 	req, err = req.prepare()
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	best, bestE, evals, err := saSchedule(req)
+	best, bestE, evals, err := saSchedule(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -470,7 +497,8 @@ func SimulatedAnnealing(req *Request) (d *Decision, err error) {
 // computed with the full evaluation, mirroring the paper's normalization
 // of NCS results.
 func SimulatedAnnealingNoComm(req *Request) (d *Decision, err error) {
-	defer observe("ncs", time.Now(), &d, &err)
+	span, ctx := begin(req.Ctx, "ncs", req)
+	defer observe("ncs", time.Now(), span, &d, &err)
 	req, err = req.prepare()
 	if err != nil {
 		return nil, err
@@ -478,7 +506,7 @@ func SimulatedAnnealingNoComm(req *Request) (d *Decision, err error) {
 	start := time.Now()
 	blindReq := *req
 	blindReq.Eval = req.Eval.CommBlind()
-	best, bestE, evals, err := saSchedule(&blindReq)
+	best, bestE, evals, err := saSchedule(ctx, &blindReq)
 	if err != nil {
 		return nil, err
 	}
@@ -495,7 +523,8 @@ func SimulatedAnnealingNoComm(req *Request) (d *Decision, err error) {
 // with uniform crossover repaired to respect slot capacities. Fitness runs
 // on the allocation-free full evaluation of the fast path.
 func Genetic(req *Request) (d *Decision, err error) {
-	defer observe("ga", time.Now(), &d, &err)
+	span, ctx := begin(req.Ctx, "ga", req)
+	defer observe("ga", time.Now(), span, &d, &err)
 	req, err = req.prepare()
 	if err != nil {
 		return nil, err
@@ -538,6 +567,7 @@ func Genetic(req *Request) (d *Decision, err error) {
 	best, bestF, st := genetic.Minimize(genetic.Config{
 		Seed:           req.Seed,
 		MaxEvaluations: req.effort(),
+		Ctx:            ctx,
 	}, genetic.Ops[core.Mapping]{
 		NewIndividual: func(rng *rand.Rand) core.Mapping { return randomMapping(req, rng) },
 		Fitness:       fitness,
@@ -574,7 +604,8 @@ func Genetic(req *Request) (d *Decision, err error) {
 // single-rank move to the scorer and leaving it undoes the move, so each
 // enumerated mapping costs one delta evaluation instead of a full one.
 func Exhaustive(req *Request) (d *Decision, err error) {
-	defer observe("exhaustive", time.Now(), &d, &err)
+	span, _ := begin(req.Ctx, "exhaustive", req)
+	defer observe("exhaustive", time.Now(), span, &d, &err)
 	req, err = req.prepare()
 	if err != nil {
 		return nil, err

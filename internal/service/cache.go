@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"encoding/binary"
 	"sync"
 
@@ -109,22 +110,33 @@ func predKey(app string, mapping []int, epoch uint64) string {
 }
 
 // predictCached serves one prediction through the cache: a hit returns
-// the shared cached prediction, a miss evaluates and fills. The caller
-// supplies the view so the epoch in the key matches the snapshot being
-// evaluated against. With the cache disabled (nil) it degenerates to a
-// plain Predict.
-func (s *Server) predictCached(v *view, app string, eval *core.Evaluator, m core.Mapping) (*core.Prediction, error) {
+// the shared cached prediction, a miss evaluates and fills; the second
+// return value reports which happened (feeding the decision record's
+// cache outcome). The caller supplies the view so the epoch in the key
+// matches the snapshot being evaluated against, and a context whose
+// active span parents the lookup/evaluation spans. With the cache
+// disabled (nil) it degenerates to a plain (unspanned) Predict.
+func (s *Server) predictCached(ctx context.Context, v *view, app string, eval *core.Evaluator, m core.Mapping) (*core.Prediction, bool, error) {
 	if s.cache == nil {
-		return eval.Predict(m, v.snap)
+		pred, err := eval.Predict(m, v.snap)
+		return pred, false, err
 	}
+	span, ctx := obs.StartSpan(ctx, "cache.lookup")
 	key := predKey(app, m, v.epoch)
 	if pred, ok := s.cache.get(key); ok {
-		return pred, nil
+		span.Attr("hit", true).End()
+		return pred, true, nil
 	}
+	span.Attr("hit", false)
+	pspan, _ := obs.StartSpan(ctx, "core.predict")
 	pred, err := eval.Predict(m, v.snap)
 	if err != nil {
-		return nil, err
+		pspan.Error(err).End()
+		span.Error(err).End()
+		return nil, false, err
 	}
+	pspan.End()
 	s.cache.put(key, pred)
-	return pred, nil
+	span.End()
+	return pred, false, nil
 }

@@ -273,6 +273,26 @@ func TestScheduleCoalescing(t *testing.T) {
 	if coalesced.Value() == before {
 		t.Fatal("no Schedule request coalesced despite simultaneous identical requests")
 	}
+	// Every coalesced follower must leave a flight-recorder record that
+	// owns its trace but names the leader's — the forensic link between
+	// "what this client was told" and "which search actually ran".
+	joins := int(coalesced.Value() - before)
+	var followers int
+	for _, d := range obs.DefaultRecorder().Decisions(obs.DecisionQuery{Kind: "schedule", App: prog.Name}) {
+		if !d.Coalesced || d.Seed != 42 {
+			continue
+		}
+		followers++
+		if d.LeaderTraceID == "" || d.LeaderTraceID == d.TraceID {
+			t.Fatalf("coalesced record does not name a distinct leader trace: %+v", d)
+		}
+		if !reflect.DeepEqual(d.Mapping, replies[0].Mapping) {
+			t.Fatalf("coalesced record mapping %v diverged from decision %v", d.Mapping, replies[0].Mapping)
+		}
+	}
+	if followers < joins {
+		t.Fatalf("flight recorder has %d coalesced records, counter says %d joins", followers, joins)
+	}
 }
 
 // SetRetryPolicy must be safe against concurrent in-flight calls (it

@@ -32,7 +32,7 @@ func newSys(t *testing.T) (*cbes.System, workloads.Program) {
 func TestInterceptRecoversPanic(t *testing.T) {
 	sys, _ := newSys(t)
 	s := NewServer(sys)
-	err := s.intercept("Boom", func() error { panic("kaboom") })
+	err := s.intercept("Boom", TraceMeta{}, func(context.Context) error { panic("kaboom") })
 	if err == nil {
 		t.Fatal("panicking handler returned nil")
 	}
@@ -40,7 +40,7 @@ func TestInterceptRecoversPanic(t *testing.T) {
 		t.Fatalf("panic error = %q", got)
 	}
 	// The engine lock must have been released: the next request runs.
-	if err := s.intercept("After", func() error { return nil }); err != nil {
+	if err := s.intercept("After", TraceMeta{}, func(context.Context) error { return nil }); err != nil {
 		t.Fatalf("request after recovered panic: %v", err)
 	}
 }
@@ -50,7 +50,7 @@ func TestInterceptBusyTimeout(t *testing.T) {
 	s := NewServer(sys)
 	s.SetRequestTimeout(20 * time.Millisecond)
 	s.lock <- struct{}{} // wedge the engine lock (a stuck long request)
-	err := s.intercept("Evaluate", func() error { return nil })
+	err := s.intercept("Evaluate", TraceMeta{}, func(context.Context) error { return nil })
 	if !IsBusy(err) {
 		t.Fatalf("err = %v, want busy", err)
 	}
@@ -58,7 +58,7 @@ func TestInterceptBusyTimeout(t *testing.T) {
 		t.Fatalf("local busy error should unwrap to ErrBusy: %v", err)
 	}
 	<-s.lock
-	if err := s.intercept("Evaluate", func() error { return nil }); err != nil {
+	if err := s.intercept("Evaluate", TraceMeta{}, func(context.Context) error { return nil }); err != nil {
 		t.Fatalf("after lock release: %v", err)
 	}
 }

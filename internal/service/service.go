@@ -76,6 +76,35 @@ func IsBusy(err error) bool {
 		(errors.Is(err, ErrBusy) || strings.Contains(err.Error(), "server busy (engine lock timeout)"))
 }
 
+// TraceMeta carries the caller's span context across the net/rpc wire.
+// Embedded in every args struct so gob moves it transparently — older
+// clients simply send the zero value, and the server mints a fresh
+// trace instead of adopting one. The typed Client stamps it from its
+// own rpc.client.* span, so one trace tree covers client retry loop →
+// server interceptor → cache → search.
+type TraceMeta struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+func (m *TraceMeta) setTrace(sc obs.SpanContext) { m.TraceID, m.SpanID = sc.TraceID, sc.SpanID }
+
+func (m TraceMeta) spanContext() obs.SpanContext {
+	return obs.SpanContext{TraceID: m.TraceID, SpanID: m.SpanID}
+}
+
+// traceCarrier is what Client.call stamps: any args struct embedding
+// TraceMeta implements it via the promoted pointer method.
+type traceCarrier interface{ setTrace(sc obs.SpanContext) }
+
+// startRPCSpan opens the server-side span of one RPC, adopting the
+// caller's wire-carried trace when present and minting a fresh one
+// otherwise, and returns a context carrying it for the handler body.
+func startRPCSpan(method string, meta TraceMeta) (*obs.ActiveSpan, context.Context) {
+	span := obs.DefaultTracer().StartRemote("rpc."+method, meta.spanContext())
+	return span, obs.ContextWithSpan(context.Background(), span)
+}
+
 // intercept wraps one writer RPC method body with instrumentation, panic
 // recovery, and the engine serialization lock (mutations drive the
 // single-threaded simulation engine, so every writer runs under the
@@ -87,12 +116,13 @@ func IsBusy(err error) bool {
 // counts requests from arrival, i.e. including time spent queued on the
 // lock. Busy rejections are observed in the latency histogram too —
 // skipping them made p99 under saturation look better than reality.
-func (s *Server) intercept(method string, fn func() error) error {
+func (s *Server) intercept(method string, meta TraceMeta, fn func(ctx context.Context) error) error {
 	rpcInflight.Add(1)
 	s.inflight.Add(1)
 	defer rpcInflight.Add(-1)
 	defer s.inflight.Done()
 	start := time.Now()
+	span, ctx := startRPCSpan(method, meta)
 	timer := time.NewTimer(s.timeout)
 	defer timer.Stop()
 	select {
@@ -104,14 +134,17 @@ func (s *Server) intercept(method string, fn func() error) error {
 		rpcRequests.With(method).Inc()
 		rpcSeconds.With(method).Observe(queued)
 		rpcErrors.With(method).Inc()
-		return fmt.Errorf("service: %s queued %v on the engine lock: %w", method, s.timeout, ErrBusy)
+		err := fmt.Errorf("service: %s queued %v on the engine lock: %w", method, s.timeout, ErrBusy)
+		span.Error(err).End()
+		return err
 	}
-	err := s.invoke(method, fn)
+	err := s.invoke(method, ctx, fn)
 	rpcRequests.With(method).Inc()
 	rpcSeconds.With(method).Observe(time.Since(start).Seconds())
 	if err != nil {
 		rpcErrors.With(method).Inc()
 	}
+	span.Error(err).End()
 	return err
 }
 
@@ -121,43 +154,45 @@ func (s *Server) intercept(method string, fn func() error) error {
 // so any number of readers proceed concurrently with each other and
 // with a writer assembling the next view. Under SingleLock (the legacy
 // benchmark baseline) reads fall back to the serialized writer path.
-func (s *Server) interceptRead(method string, fn func() error) error {
+func (s *Server) interceptRead(method string, meta TraceMeta, fn func(ctx context.Context) error) error {
 	if s.singleLock {
-		return s.intercept(method, fn)
+		return s.intercept(method, meta, fn)
 	}
 	rpcInflight.Add(1)
 	s.inflight.Add(1)
 	defer rpcInflight.Add(-1)
 	defer s.inflight.Done()
 	start := time.Now()
-	err := s.run(method, fn)
+	span, ctx := startRPCSpan(method, meta)
+	err := s.run(method, ctx, fn)
 	rpcRequests.With(method).Inc()
 	rpcSeconds.With(method).Observe(time.Since(start).Seconds())
 	if err != nil {
 		rpcErrors.With(method).Inc()
 	}
+	span.Error(err).End()
 	return err
 }
 
 // invoke runs the handler body holding the engine lock, releasing it on
 // every exit path.
-func (s *Server) invoke(method string, fn func() error) (err error) {
+func (s *Server) invoke(method string, ctx context.Context, fn func(ctx context.Context) error) (err error) {
 	defer func() { <-s.lock }()
-	return s.run(method, fn)
+	return s.run(method, ctx, fn)
 }
 
 // run executes a handler body, converting a panic into an error so one
 // poisoned request cannot kill the daemon (net/rpc would otherwise crash
 // the whole process) — and, for writers, so the engine lock is still
 // released for subsequent requests.
-func (s *Server) run(method string, fn func() error) (err error) {
+func (s *Server) run(method string, ctx context.Context, fn func(ctx context.Context) error) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			rpcPanics.Inc()
 			err = fmt.Errorf("service: %s: internal error (recovered panic): %v", method, p)
 		}
 	}()
-	return fn()
+	return fn(ctx)
 }
 
 // RPCName is the registered net/rpc service name.
@@ -165,6 +200,7 @@ const RPCName = "CBES"
 
 // EvaluateArgs asks for an execution-time prediction of one mapping.
 type EvaluateArgs struct {
+	TraceMeta
 	App     string
 	Mapping []int
 }
@@ -174,6 +210,9 @@ type EvaluateArgs struct {
 // dropped at the RPC boundary, leaving clients unable to tell a
 // profile-only fallback prediction from a fully monitored one.
 type EvaluateReply struct {
+	// TraceID echoes the server-side trace of this request (hex), so the
+	// caller can pull /debug/trace?id=... or filter decision records.
+	TraceID  string
 	Seconds  float64
 	Critical int // rank attaining the per-segment max in the first segment
 	// Degraded reports that at least one mapped node's monitoring data was
@@ -185,18 +224,21 @@ type EvaluateReply struct {
 
 // ExplainArgs asks for a human-readable prediction breakdown.
 type ExplainArgs struct {
+	TraceMeta
 	App     string
 	Mapping []int
 }
 
 // ExplainReply carries the rendered breakdown.
 type ExplainReply struct {
+	TraceID string // hex server-side trace ID (see EvaluateReply)
 	Seconds float64
 	Text    string
 }
 
 // CompareArgs asks for predictions of several candidate mappings.
 type CompareArgs struct {
+	TraceMeta
 	App      string
 	Mappings [][]int
 }
@@ -204,6 +246,7 @@ type CompareArgs struct {
 // CompareReply carries per-candidate predictions and the fastest index.
 // Degraded and StaleNodes are per-mapping, aligned with Seconds.
 type CompareReply struct {
+	TraceID string // hex server-side trace ID (see EvaluateReply)
 	Seconds []float64
 	Best    int
 	// Degraded[i] reports whether mapping i's prediction fell back to
@@ -215,6 +258,7 @@ type CompareReply struct {
 
 // ScheduleArgs asks the service to find a mapping.
 type ScheduleArgs struct {
+	TraceMeta
 	App       string
 	Algorithm string // "cs", "ncs", "rs", "ga"
 	Pool      []int
@@ -223,6 +267,10 @@ type ScheduleArgs struct {
 
 // ScheduleReply carries the chosen mapping.
 type ScheduleReply struct {
+	// TraceID is the hex trace ID of the server-side causal tree for THIS
+	// request. A coalesced follower reports its own trace here; the trace
+	// that ran the shared search is in its decision record's LeaderTraceID.
+	TraceID     string
 	Mapping     []int
 	Predicted   float64
 	Evaluations int
@@ -237,6 +285,25 @@ type ScheduleReply struct {
 	// may want a second opinion once monitoring recovers.
 	Degraded   bool
 	StaleNodes []int
+}
+
+// DecisionsArgs queries the decision flight recorder (DESIGN.md §11).
+// Zero-valued filters match everything; N bounds the result to the N
+// most recent matches.
+type DecisionsArgs struct {
+	TraceMeta
+	N       int
+	Kind    string // "schedule", "evaluate", "explain", "compare"
+	App     string
+	TraceID string // hex, as echoed in replies
+}
+
+// DecisionsReply carries matching records (newest first) and the
+// recorder's lifetime total (so a caller can tell "no matches" from
+// "recorder empty").
+type DecisionsReply struct {
+	Decisions []obs.Decision
+	Total     uint64
 }
 
 // Metrics formats accepted by the Metrics RPC.
@@ -256,7 +323,7 @@ type MetricsReply struct {
 }
 
 // StatusArgs requests service status.
-type StatusArgs struct{}
+type StatusArgs struct{ TraceMeta }
 
 // StatusReply describes the service state.
 type StatusReply struct {
@@ -273,6 +340,7 @@ type StatusReply struct {
 
 // AdvanceArgs moves simulated time forward (demo control).
 type AdvanceArgs struct {
+	TraceMeta
 	Seconds float64
 }
 
@@ -312,6 +380,8 @@ type Server struct {
 	// singleLock routes reads through the writer lock and disables the
 	// cache — the pre-sharding behaviour, kept for A/B benchmarking.
 	singleLock bool
+	// rec is the decision flight recorder (DESIGN.md §11).
+	rec *obs.Recorder
 }
 
 // NewServer wraps a System with the default request timeout and cache
@@ -324,6 +394,7 @@ func NewServer(sys *cbes.System) *Server {
 		lock:    make(chan struct{}, 1),
 		timeout: DefaultRequestTimeout,
 		cache:   newPredCache(DefaultCacheSize),
+		rec:     obs.DefaultRecorder(),
 	}
 	s.refreshView()
 	return s
@@ -374,39 +445,74 @@ func fillDegraded(pred *core.Prediction, degraded *bool, stale *[]int) {
 // Evaluate predicts the execution time of one mapping. Lock-free: served
 // from the published view through the prediction cache.
 func (s *Server) Evaluate(args *EvaluateArgs, reply *EvaluateReply) error {
-	return s.interceptRead("Evaluate", func() error {
+	return s.interceptRead("Evaluate", args.TraceMeta, func(ctx context.Context) (err error) {
 		v := s.view.Load()
+		d := obs.Decision{
+			TraceID: obs.FormatID(obs.TraceIDFromContext(ctx)),
+			Kind:    "evaluate", App: args.App, Epoch: v.epoch,
+		}
+		defer func() { s.record(&d, err) }()
 		eval, err := v.evaluator(args.App)
 		if err != nil {
 			return err
 		}
-		pred, err := s.predictCached(v, args.App, eval, core.Mapping(args.Mapping))
+		pred, hit, err := s.predictCached(ctx, v, args.App, eval, core.Mapping(args.Mapping))
+		d.CacheLookups = 1
+		if hit {
+			d.CacheHits = 1
+		}
 		if err != nil {
 			return err
 		}
+		reply.TraceID = d.TraceID
 		reply.Seconds = pred.Seconds
 		if len(pred.Segments) > 0 {
 			reply.Critical = pred.Segments[0].Critical
 		}
 		fillDegraded(pred, &reply.Degraded, &reply.StaleNodes)
+		d.Mapping = args.Mapping
+		d.Predicted = pred.Seconds
+		d.Degraded, d.StaleNodes = reply.Degraded, reply.StaleNodes
 		return nil
 	})
 }
 
+// record finalizes one decision record: stamps the error (forensics
+// wants the denials too) and hands it to the flight recorder.
+func (s *Server) record(d *obs.Decision, err error) {
+	if err != nil {
+		d.Err = err.Error()
+	}
+	s.rec.Record(*d)
+}
+
 // Explain predicts one mapping and returns the per-process breakdown.
 func (s *Server) Explain(args *ExplainArgs, reply *ExplainReply) error {
-	return s.interceptRead("Explain", func() error {
+	return s.interceptRead("Explain", args.TraceMeta, func(ctx context.Context) (err error) {
 		v := s.view.Load()
+		d := obs.Decision{
+			TraceID: obs.FormatID(obs.TraceIDFromContext(ctx)),
+			Kind:    "explain", App: args.App, Epoch: v.epoch,
+		}
+		defer func() { s.record(&d, err) }()
 		eval, err := v.evaluator(args.App)
 		if err != nil {
 			return err
 		}
-		pred, err := s.predictCached(v, args.App, eval, core.Mapping(args.Mapping))
+		pred, hit, err := s.predictCached(ctx, v, args.App, eval, core.Mapping(args.Mapping))
+		d.CacheLookups = 1
+		if hit {
+			d.CacheHits = 1
+		}
 		if err != nil {
 			return err
 		}
+		reply.TraceID = d.TraceID
 		reply.Seconds = pred.Seconds
 		reply.Text = pred.Explain(s.sys.Topo)
+		d.Mapping = args.Mapping
+		d.Predicted = pred.Seconds
+		d.Degraded, d.StaleNodes = pred.Degraded, pred.StaleNodes
 		return nil
 	})
 }
@@ -416,11 +522,16 @@ func (s *Server) Explain(args *ExplainArgs, reply *ExplainReply) error {
 // batch repeated across clients costs one evaluation per novel mapping
 // per epoch.
 func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
-	return s.interceptRead("Compare", func() error {
+	return s.interceptRead("Compare", args.TraceMeta, func(ctx context.Context) (err error) {
+		v := s.view.Load()
+		d := obs.Decision{
+			TraceID: obs.FormatID(obs.TraceIDFromContext(ctx)),
+			Kind:    "compare", App: args.App, Epoch: v.epoch,
+		}
+		defer func() { s.record(&d, err) }()
 		if len(args.Mappings) == 0 {
 			return fmt.Errorf("service: no mappings")
 		}
-		v := s.view.Load()
 		eval, err := v.evaluator(args.App)
 		if err != nil {
 			return err
@@ -433,7 +544,11 @@ func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
 		// every comparison false.
 		best := -1
 		for i, m := range args.Mappings {
-			pred, err := s.predictCached(v, args.App, eval, core.Mapping(m))
+			pred, hit, err := s.predictCached(ctx, v, args.App, eval, core.Mapping(m))
+			d.CacheLookups++
+			if hit {
+				d.CacheHits++
+			}
 			if err != nil {
 				return err
 			}
@@ -449,7 +564,11 @@ func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
 		if best < 0 {
 			best = 0 // every candidate NaN: keep the legacy fallback
 		}
+		reply.TraceID = d.TraceID
 		reply.Best = best
+		d.Mapping = args.Mappings[best]
+		d.Predicted = reply.Seconds[best]
+		d.Degraded, d.StaleNodes = reply.Degraded[best], reply.StaleNodes[best]
 		return nil
 	})
 }
@@ -460,14 +579,14 @@ func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
 // deterministic in those inputs, so every follower receives the leader's
 // decision, verbatim.
 func (s *Server) Schedule(args *ScheduleArgs, reply *ScheduleReply) error {
-	return s.interceptRead("Schedule", func() error {
+	return s.interceptRead("Schedule", args.TraceMeta, func(ctx context.Context) error {
 		v := s.view.Load()
 		if s.singleLock {
-			return s.scheduleOn(v, args, reply)
+			return s.scheduleOn(ctx, v, args, reply)
 		}
 		val, joined, err := s.flights.do(scheduleKey(v.epoch, args), func() (any, error) {
 			var r ScheduleReply
-			if err := s.scheduleOn(v, args, &r); err != nil {
+			if err := s.scheduleOn(ctx, v, args, &r); err != nil {
 				return nil, err
 			}
 			return &r, nil
@@ -479,6 +598,24 @@ func (s *Server) Schedule(args *ScheduleArgs, reply *ScheduleReply) error {
 			return err
 		}
 		*reply = *val.(*ScheduleReply) // shared backing arrays, read-only
+		if joined {
+			// The follower's causal story is its own: its trace shows a
+			// coalesced join, and its decision record names the leader's
+			// trace — the one the shared search actually ran under.
+			leader := reply.TraceID
+			reply.TraceID = obs.FormatID(obs.TraceIDFromContext(ctx))
+			obs.SpanFromContext(ctx).
+				Attr("coalesced", true).
+				Attr("leader_trace", leader)
+			s.rec.Record(obs.Decision{
+				TraceID: reply.TraceID, Kind: "schedule", App: args.App,
+				Algorithm: args.Algorithm, Seed: args.Seed, Epoch: v.epoch,
+				Coalesced: true, LeaderTraceID: leader,
+				Degraded: reply.Degraded, StaleNodes: reply.StaleNodes,
+				Mapping: reply.Mapping, Predicted: reply.Predicted,
+				Evaluations: reply.Evaluations, SchedulerMicros: reply.SchedulerMicros,
+			})
+		}
 		return nil
 	})
 }
@@ -503,29 +640,45 @@ func scheduleKey(epoch uint64, args *ScheduleArgs) string {
 // reply, including the degraded-prediction markers for the chosen
 // mapping (a cache hit in the common case — the search just evaluated
 // it).
-func (s *Server) scheduleOn(v *view, args *ScheduleArgs, reply *ScheduleReply) error {
+func (s *Server) scheduleOn(ctx context.Context, v *view, args *ScheduleArgs, reply *ScheduleReply) (err error) {
+	d := obs.Decision{
+		TraceID: obs.FormatID(obs.TraceIDFromContext(ctx)),
+		Kind:    "schedule", App: args.App,
+		Algorithm: args.Algorithm, Seed: args.Seed, Epoch: v.epoch,
+	}
+	defer func() { s.record(&d, err) }()
 	eval, err := v.evaluator(args.App)
 	if err != nil {
 		return err
 	}
-	dec, err := cbes.ScheduleOn(eval, v.snap, cbes.Algorithm(args.Algorithm), args.Pool, args.Seed)
+	dec, err := cbes.ScheduleOnCtx(ctx, eval, v.snap, cbes.Algorithm(args.Algorithm), args.Pool, args.Seed)
 	if err != nil {
 		return err
 	}
+	reply.TraceID = d.TraceID
 	reply.Mapping = []int(dec.Mapping)
 	reply.Predicted = dec.Predicted
 	reply.Evaluations = dec.Evaluations
 	reply.SchedulerMillis = dec.SchedulerTime.Milliseconds()
 	reply.SchedulerMicros = dec.SchedulerTime.Microseconds()
-	if pred, err := s.predictCached(v, args.App, eval, dec.Mapping); err == nil {
+	if pred, hit, err := s.predictCached(ctx, v, args.App, eval, dec.Mapping); err == nil {
 		fillDegraded(pred, &reply.Degraded, &reply.StaleNodes)
+		d.CacheLookups = 1
+		if hit {
+			d.CacheHits = 1
+		}
 	}
+	d.Mapping = reply.Mapping
+	d.Predicted = reply.Predicted
+	d.Evaluations = reply.Evaluations
+	d.SchedulerMicros = reply.SchedulerMicros
+	d.Degraded, d.StaleNodes = reply.Degraded, reply.StaleNodes
 	return nil
 }
 
 // Status reports the service and cluster state from the published view.
-func (s *Server) Status(_ *StatusArgs, reply *StatusReply) error {
-	return s.interceptRead("Status", func() error {
+func (s *Server) Status(args *StatusArgs, reply *StatusReply) error {
+	return s.interceptRead("Status", args.TraceMeta, func(_ context.Context) error {
 		v := s.view.Load()
 		reply.Cluster = v.cluster
 		reply.Nodes = v.nodes
@@ -544,7 +697,7 @@ func (s *Server) Status(_ *StatusArgs, reply *StatusReply) error {
 // releasing it, so a read issued after an Advance returns always sees
 // the post-advance state.
 func (s *Server) Advance(args *AdvanceArgs, reply *AdvanceReply) error {
-	return s.intercept("Advance", func() error {
+	return s.intercept("Advance", args.TraceMeta, func(_ context.Context) error {
 		if args.Seconds < 0 {
 			return fmt.Errorf("service: negative advance")
 		}
@@ -553,6 +706,19 @@ func (s *Server) Advance(args *AdvanceArgs, reply *AdvanceReply) error {
 		v := s.view.Load()
 		reply.SimSeconds = v.simSeconds
 		reply.Epoch = v.epoch
+		return nil
+	})
+}
+
+// Decisions queries the decision flight recorder: the most recent
+// matching records, newest first (DESIGN.md §11). Lock-free like the
+// other reads — the recorder has its own short-held mutex.
+func (s *Server) Decisions(args *DecisionsArgs, reply *DecisionsReply) error {
+	return s.interceptRead("Decisions", args.TraceMeta, func(_ context.Context) error {
+		reply.Decisions = s.rec.Decisions(obs.DecisionQuery{
+			N: args.N, Kind: args.Kind, App: args.App, TraceID: args.TraceID,
+		})
+		reply.Total = s.rec.Total()
 		return nil
 	})
 }
@@ -888,10 +1054,23 @@ func connError(err error) bool {
 // call performs one RPC, retrying transient failures when idempotent is
 // true. Non-idempotent methods (Advance) never retry: a lost reply leaves
 // the outcome unknown and a resend would double-apply it.
-func (c *Client) call(method string, args, reply any, idempotent bool) error {
+func (c *Client) call(method string, args, reply any, idempotent bool) (err error) {
+	// One client-side span covers the whole retry loop; its context rides
+	// the wire in the args' TraceMeta, so the server-side rpc.* span (and
+	// everything under it — cache, search, anneal restarts) joins THIS
+	// trace. Every retry re-sends the same trace: attempts of one logical
+	// call are one causal story.
+	span := obs.DefaultTracer().Start("rpc.client." + method)
+	if tc, ok := args.(traceCarrier); ok {
+		tc.setTrace(span.Context())
+	}
+	attempts := 0
+	defer func() {
+		span.Attr("attempts", attempts).Error(err).End()
+	}()
 	retry := c.retryPolicy() // one coherent policy for the whole call
-	var err error
 	for attempt := 0; ; attempt++ {
+		attempts = attempt + 1
 		rc := c.conn()
 		err = rc.Call(RPCName+"."+method, args, reply)
 		if err == nil || !idempotent || attempt >= retry.Max || !isTransient(err) {
@@ -948,6 +1127,15 @@ func (c *Client) Status() (*StatusReply, error) {
 func (c *Client) Advance(seconds float64) (*AdvanceReply, error) {
 	var reply AdvanceReply
 	err := c.call("Advance", &AdvanceArgs{Seconds: seconds}, &reply, false)
+	return &reply, err
+}
+
+// Decisions queries the server's decision flight recorder: up to n most
+// recent records (n <= 0 for all resident), optionally filtered by
+// decision kind, application, and hex trace ID.
+func (c *Client) Decisions(n int, kind, app, traceID string) (*DecisionsReply, error) {
+	var reply DecisionsReply
+	err := c.call("Decisions", &DecisionsArgs{N: n, Kind: kind, App: app, TraceID: traceID}, &reply, true)
 	return &reply, err
 }
 

@@ -5,7 +5,11 @@
 # real scheduling request through cbesctl, then asserts that /healthz is
 # healthy and /metrics exposes the core series with non-zero values:
 # per-method RPC latency histograms, scorer energy-evaluation counters,
-# SA acceptance-rate gauges, and the monitor snapshot-age gauge.
+# SA acceptance-rate gauges, and the monitor snapshot-age gauge. Also
+# exercises the causal-tracing surface end to end: the schedule reply
+# must print a trace ID whose /debug/trace export contains the RPC →
+# schedule → anneal-restart span tree, and the decision flight recorder
+# (cbesctl decisions + /debug/decisions) must hold the matching record.
 #
 # Uses only the small `test` topology so the whole run takes seconds.
 set -eu
@@ -94,8 +98,42 @@ echo "obs-smoke: daemon healthy"
 "$BIN/cbesctl" -addr "127.0.0.1:$PORT" advance -seconds 1.5 >> "$LOG" 2>&1 \
     || fail "advance request failed"
 "$BIN/cbesctl" -addr "127.0.0.1:$PORT" schedule -app lu.A.8 -alg cs -pool 0-7 \
-    >> "$LOG" 2>&1 || fail "schedule request failed"
+    > "$WORK/schedule.txt" 2>&1 || { cat "$WORK/schedule.txt" >> "$LOG"; fail "schedule request failed"; }
+cat "$WORK/schedule.txt" >> "$LOG"
 echo "obs-smoke: scheduling request served"
+
+# --- causal tracing: the reply's trace ID must resolve to a full tree ---
+TRACE_ID=$(awk '$1 == "trace" { print $3 }' "$WORK/schedule.txt")
+[ -n "$TRACE_ID" ] || fail "cbesctl schedule did not print a trace ID"
+echo "obs-smoke: schedule trace id $TRACE_ID"
+
+fetch "http://127.0.0.1:$DEBUG_PORT/debug/trace?id=$TRACE_ID" "$WORK/trace.json" \
+    || fail "/debug/trace?id=$TRACE_ID fetch failed"
+for span in rpc.Schedule schedule.decision anneal.run cache.lookup; do
+    grep -q "\"$span\"" "$WORK/trace.json" || fail "trace export missing $span span"
+done
+grep -q '"traceEvents"' "$WORK/trace.json" || fail "trace export is not Chrome trace-event JSON"
+echo "obs-smoke: ok: /debug/trace span tree (rpc -> schedule -> anneal -> cache)"
+
+# The span-ring filters must narrow to the same trace.
+fetch "http://127.0.0.1:$DEBUG_PORT/debug/spans?name=schedule.decision&n=5" "$WORK/spans.json" \
+    || fail "/debug/spans filter fetch failed"
+grep -q '"schedule.decision"' "$WORK/spans.json" || fail "/debug/spans?name= filter returned no schedule.decision span"
+echo "obs-smoke: ok: /debug/spans filters"
+
+# --- decision flight recorder: RPC, CLI, and HTTP all see the record ---
+"$BIN/cbesctl" -addr "127.0.0.1:$PORT" decisions -trace "$TRACE_ID" > "$WORK/decisions.txt" 2>&1 \
+    || { cat "$WORK/decisions.txt" >> "$LOG"; fail "cbesctl decisions failed"; }
+grep -q "trace=$TRACE_ID" "$WORK/decisions.txt" || fail "cbesctl decisions has no record for trace $TRACE_ID"
+grep -q "alg=cs" "$WORK/decisions.txt" || fail "decision record missing algorithm"
+grep -q "epoch=" "$WORK/decisions.txt" || fail "decision record missing epoch"
+grep -q "mapping=" "$WORK/decisions.txt" || fail "decision record missing chosen mapping"
+echo "obs-smoke: ok: cbesctl decisions record"
+
+fetch "http://127.0.0.1:$DEBUG_PORT/debug/decisions?trace=$TRACE_ID" "$WORK/decisions.json" \
+    || fail "/debug/decisions fetch failed"
+grep -q "\"$TRACE_ID\"" "$WORK/decisions.json" || fail "/debug/decisions has no record for trace $TRACE_ID"
+echo "obs-smoke: ok: /debug/decisions record"
 
 fetch "http://127.0.0.1:$DEBUG_PORT/metrics" "$METRICS" || fail "/metrics scrape failed"
 
@@ -116,6 +154,9 @@ require_nonzero 'cbes_core_delta_evals_total' "scorer delta-evaluation counter"
 require_nonzero 'cbes_sa_acceptance_rate' "SA acceptance-rate gauge"
 require_nonzero 'cbes_monitor_snapshot_age_seconds' "monitor snapshot-age gauge"
 require_nonzero 'cbes_schedule_requests_total\{alg="cs"\}' "scheduler request counter"
+require_nonzero 'cbes_trace_ring_spans' "tracer ring-occupancy gauge"
+require_nonzero 'cbes_decisions_recorded_total' "flight-recorder decision counter"
+require_nonzero 'cbes_decision_records' "flight-recorder occupancy gauge"
 
 # The RPC surface must match over cbesctl metrics as well.
 "$BIN/cbesctl" -addr "127.0.0.1:$PORT" metrics -format json > "$WORK/metrics.json" \
