@@ -48,11 +48,12 @@ bench-compare:
 
 # Concurrent-load benchmark of the RPC service: sharded read path
 # (epoch-keyed prediction cache, lock-free reads) vs the single-lock
-# baseline on a 95% read mix. Records throughput and p50/p99 into
-# BENCH_cbes.json (rps and p99_ms are regression-gated by bench-compare)
-# and fails unless the sharded path is at least 10x the baseline.
+# baseline on a 95% read mix. Records throughput, p50/p99, and cache
+# hit/miss counts into BENCH_cbes.json (rps and p99_ms are
+# regression-gated by bench-compare) and fails unless the sharded path
+# is at least 10x the baseline with a >= 90% cache hit rate.
 service-bench:
-	$(GO) run ./cmd/servicebench -clients 16 -duration 5s -min-speedup 10 -o BENCH_cbes.json
+	$(GO) run ./cmd/servicebench -clients 16 -duration 5s -min-speedup 10 -min-hit-rate 90 -o BENCH_cbes.json
 
 # Short service-bench for CI: quick smoke with a relaxed speedup floor
 # (shared-runner timing is noisy), no snapshot update.
@@ -62,7 +63,9 @@ service-bench-short:
 # End-to-end observability smoke test: boots cbesd with -debug-listen,
 # drives a scheduling request, asserts /healthz plus non-zero core
 # series in /metrics, follows the printed trace ID through /debug/trace
-# and the decision flight recorder, and checks clean SIGTERM shutdown.
+# and the decision flight recorder, closes the predicted-vs-actual loop
+# (report outcome -> cbesctl accuracy -> /debug/accuracy, drift alarm
+# flip), and checks clean SIGTERM shutdown.
 obs-smoke:
 	sh scripts/obs_smoke.sh
 

@@ -7,17 +7,23 @@
 //	cbesctl [-addr ...] compare  -app lu.B.8 -mapping 0,1,2,3,4,5,6,7 -mapping 20,21,...
 //	cbesctl [-addr ...] schedule -app lu.B.8 -alg cs -pool 0-7,10-21 [-seed 1]
 //	cbesctl [-addr ...] advance  -seconds 30
-//	cbesctl [-addr ...] metrics  [-format prom|json]
+//	cbesctl [-addr ...] metrics  [-format prom|json] [-json] [-prefix cbes_accuracy]
 //	cbesctl [-addr ...] decisions [-n 20] [-kind schedule] [-app lu.B.8] [-trace HEXID]
+//	cbesctl [-addr ...] report   -id PREDID -actual 61.3
+//	cbesctl [-addr ...] accuracy [-app lu.B.8] [-sched cs] [-samples 10]
 //
 // Commands that make the server decide something (evaluate, compare,
 // schedule) print the request's trace ID; feed it to the daemon's
 // /debug/trace?id=... endpoint for the causal flame view, or to
 // `cbesctl decisions -trace ...` for the matching flight-recorder
-// record.
+// record. They also print a prediction ID (predid): once the mapping has
+// actually run, `cbesctl report -id PREDID -actual SECONDS` joins the
+// measured runtime back to the prediction, and `cbesctl accuracy` shows
+// the resulting calibration statistics and drift verdict.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -94,8 +100,14 @@ func main() {
 	explain := sub.Bool("explain", false, "evaluate: show the per-process R/C breakdown")
 	format := sub.String("format", "prom", "metrics format: prom (Prometheus text) or json")
 	n := sub.Int("n", 20, "decisions: max records to fetch (0 for all resident)")
-	kind := sub.String("kind", "", "decisions: filter by kind (schedule, evaluate, explain, compare)")
+	kind := sub.String("kind", "", "decisions: filter by kind (schedule, evaluate, explain, compare, outcome)")
 	traceID := sub.String("trace", "", "decisions: filter by hex trace id")
+	prefix := sub.String("prefix", "", "metrics: only emit families whose name starts with this prefix")
+	jsonOut := sub.Bool("json", false, "metrics: shorthand for -format json")
+	predID := sub.String("id", "", "report: prediction ID to join the outcome to")
+	actual := sub.Float64("actual", 0, "report: measured runtime in seconds")
+	sched := sub.String("sched", "", "accuracy: filter buckets by scheduler name")
+	samples := sub.Int("samples", 10, "accuracy: recent joined pairs to list (0 for all resident)")
 	var mappings mappingsFlag
 	sub.Var(&mappings, "mapping", "mapping as node list (repeatable for compare)")
 	if err := sub.Parse(flag.Args()[1:]); err != nil {
@@ -144,6 +156,10 @@ func main() {
 		if r.TraceID != "" {
 			fmt.Printf("trace: %s\n", r.TraceID)
 		}
+		if r.PredictionID != "" {
+			fmt.Printf("predid : %s\n", r.PredictionID)
+		}
+		printBand(r.ErrBandLowPct, r.ErrBandHighPct, r.ErrBandSamples)
 		if r.Degraded {
 			fmt.Printf("DEGRADED: stale monitoring data on nodes %v; prediction used profile-only fallback\n", r.StaleNodes)
 		}
@@ -164,11 +180,16 @@ func main() {
 			if i < len(r.Degraded) && r.Degraded[i] {
 				note = fmt.Sprintf("  [degraded: stale nodes %v]", r.StaleNodes[i])
 			}
-			fmt.Printf("%s mapping %v: %.3fs%s\n", marker, mappings[i], s, note)
+			id := ""
+			if i < len(r.PredictionIDs) && r.PredictionIDs[i] != "" {
+				id = "  predid=" + r.PredictionIDs[i]
+			}
+			fmt.Printf("%s mapping %v: %.3fs%s%s\n", marker, mappings[i], s, id, note)
 		}
 		if r.TraceID != "" {
 			fmt.Printf("trace: %s\n", r.TraceID)
 		}
+		printBand(r.ErrBandLowPct, r.ErrBandHighPct, r.ErrBandSamples)
 	case "schedule":
 		if *app == "" || *pool == "" {
 			log.Fatal("schedule needs -app and -pool")
@@ -188,6 +209,10 @@ func main() {
 		if r.TraceID != "" {
 			fmt.Printf("trace     : %s\n", r.TraceID)
 		}
+		if r.PredictionID != "" {
+			fmt.Printf("predid    : %s\n", r.PredictionID)
+		}
+		printBand(r.ErrBandLowPct, r.ErrBandHighPct, r.ErrBandSamples)
 		if r.Degraded {
 			fmt.Printf("DEGRADED  : stale monitoring data on nodes %v; prediction used profile-only fallback\n", r.StaleNodes)
 		}
@@ -207,17 +232,137 @@ func main() {
 			printDecision(d)
 		}
 	case "metrics":
+		if *jsonOut {
+			*format = service.FormatJSON
+		}
 		r, err := c.Metrics(*format)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(r.Text)
-		if !strings.HasSuffix(r.Text, "\n") {
+		text := r.Text
+		if *prefix != "" {
+			if *format == service.FormatJSON {
+				text, err = filterMetricsJSON(text, *prefix)
+				if err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				text = filterMetricsProm(text, *prefix)
+			}
+		}
+		fmt.Print(text)
+		if !strings.HasSuffix(text, "\n") {
 			fmt.Println()
 		}
+	case "report":
+		if *predID == "" || *actual <= 0 {
+			log.Fatal("report needs -id and a positive -actual (seconds)")
+		}
+		r, err := c.ReportOutcome(*predID, *actual)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("joined %s: app=%s predicted=%.3fs actual=%.3fs err=%+.1f%%\n",
+			*predID, r.App, r.Predicted, r.Actual, r.SignedErrPct)
+		fmt.Printf("calibration: %s\n", calWord(r.CalibrationOK))
+	case "accuracy":
+		r, err := c.Accuracy(*app, *sched, *samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printAccuracy(r)
 	default:
 		usage()
 	}
+}
+
+// calWord renders the drift verdict: OK while recent error is consistent
+// with the baseline, DRIFT otherwise.
+func calWord(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "DRIFT"
+}
+
+// printAccuracy renders the Accuracy reply: status header, per-bucket
+// calibration table, recent joined pairs.
+func printAccuracy(r *service.AccuracyReply) {
+	st := r.Status
+	fmt.Printf("calibration : %s (window MAPE %.1f%% over %d, baseline %.1f%% over %d)\n",
+		calWord(st.CalibrationOK), st.WindowMAPEPct, st.WindowN, st.BaselineMAPEPct, st.BaselineN)
+	fmt.Printf("joined      : %d (pending %d, unmatched %d, expired %d)\n",
+		st.Joined, st.Pending, st.Unmatched, st.Expired)
+	fmt.Printf("overall     : bias %+.1f%%  MAPE %.1f%%\n", st.BiasPct, st.MAPEPct)
+	if len(r.Buckets) > 0 {
+		fmt.Printf("\n%-16s %-12s %-8s %-6s %6s %8s %8s %7s %7s %7s  %s\n",
+			"app", "scheduler", "degraded", "age", "n", "bias%", "mape%", "p50%", "p90%", "p99%", "band%")
+		for _, b := range r.Buckets {
+			deg := "no"
+			if b.Degraded {
+				deg = "yes"
+			}
+			fmt.Printf("%-16s %-12s %-8s %-6s %6d %+8.1f %8.1f %7.1f %7.1f %7.1f  [%+.1f,%+.1f]\n",
+				b.App, orDash(b.Scheduler), deg, b.AgeBucket, b.Count,
+				b.BiasPct, b.MAPEPct, b.P50Pct, b.P90Pct, b.P99Pct, b.BandLowPct, b.BandHighPct)
+		}
+	}
+	if len(r.Samples) > 0 {
+		fmt.Printf("\nrecent joined pairs (newest first):\n")
+		for _, s := range r.Samples {
+			fmt.Printf("  %-8s %-16s %-12s predicted=%.3fs actual=%.3fs err=%+.1f%%\n",
+				s.ID, s.App, orDash(s.Scheduler), s.Predicted, s.Actual, s.SignedErrPct)
+		}
+	}
+}
+
+// printBand renders the empirical error band a prediction reply carries
+// (nothing while the calibration bucket is still under-sampled).
+func printBand(lo, hi float64, n int) {
+	if n > 0 {
+		fmt.Printf("errband   : [%+.1f%%, %+.1f%%] from %d joined outcomes\n", lo, hi, n)
+	}
+}
+
+// filterMetricsProm keeps only the families whose metric name starts with
+// prefix: HELP/TYPE headers plus sample lines (including _bucket/_sum/
+// _count series and labeled children, which share the prefix).
+func filterMetricsProm(text, prefix string) string {
+	var b strings.Builder
+	for _, line := range strings.SplitAfter(text, "\n") {
+		if line == "" {
+			continue
+		}
+		name := line
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name = rest
+		} else if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name = rest
+		}
+		if strings.HasPrefix(name, prefix) {
+			b.WriteString(line)
+		}
+	}
+	return b.String()
+}
+
+// filterMetricsJSON keeps only the top-level keys with the prefix in an
+// expvar-style JSON metrics snapshot.
+func filterMetricsJSON(text, prefix string) (string, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(text), &m); err != nil {
+		return "", fmt.Errorf("metrics json: %w", err)
+	}
+	for k := range m {
+		if !strings.HasPrefix(k, prefix) {
+			delete(m, k)
+		}
+	}
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
 }
 
 // printDecision renders one flight-recorder record in a compact
@@ -237,6 +382,12 @@ func printDecision(d obs.Decision) {
 	}
 	if len(d.Mapping) > 0 {
 		fmt.Printf("  mapping=%v predicted=%.3fs\n", d.Mapping, d.Predicted)
+	}
+	if d.PredictionID != "" {
+		fmt.Printf("  predid=%s\n", d.PredictionID)
+	}
+	if d.Kind == "outcome" && d.Actual > 0 {
+		fmt.Printf("  actual=%.3fs\n", d.Actual)
 	}
 	if d.Degraded {
 		fmt.Printf("  DEGRADED: stale nodes %v\n", d.StaleNodes)
@@ -262,6 +413,6 @@ func fmtFloats(xs []float64) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cbesctl [-addr host:port] status|evaluate|compare|schedule|advance|metrics|decisions [flags]")
+	fmt.Fprintln(os.Stderr, "usage: cbesctl [-addr host:port] status|evaluate|compare|schedule|advance|metrics|decisions|report|accuracy [flags]")
 	os.Exit(2)
 }

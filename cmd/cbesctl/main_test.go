@@ -2,6 +2,7 @@ package main
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -26,5 +27,43 @@ func TestParseIDList(t *testing.T) {
 		if _, err := parseIDList(bad); err == nil {
 			t.Fatalf("%q should error", bad)
 		}
+	}
+}
+
+func TestFilterMetricsProm(t *testing.T) {
+	text := "# HELP cbes_accuracy_joined_total Joined outcomes.\n" +
+		"# TYPE cbes_accuracy_joined_total counter\n" +
+		"cbes_accuracy_joined_total 3\n" +
+		"# HELP cbes_rpc_requests_total RPC requests.\n" +
+		"# TYPE cbes_rpc_requests_total counter\n" +
+		"cbes_rpc_requests_total{method=\"Evaluate\"} 12\n" +
+		"cbes_accuracy_pending 1\n"
+	got := filterMetricsProm(text, "cbes_accuracy")
+	want := "# HELP cbes_accuracy_joined_total Joined outcomes.\n" +
+		"# TYPE cbes_accuracy_joined_total counter\n" +
+		"cbes_accuracy_joined_total 3\n" +
+		"cbes_accuracy_pending 1\n"
+	if got != want {
+		t.Errorf("filterMetricsProm:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if out := filterMetricsProm(text, ""); out != text {
+		t.Error("empty prefix should keep everything")
+	}
+	if out := filterMetricsProm(text, "nope"); out != "" {
+		t.Errorf("unmatched prefix kept %q", out)
+	}
+}
+
+func TestFilterMetricsJSON(t *testing.T) {
+	text := `{"cbes_accuracy_joined_total": 3, "cbes_rpc_requests_total": {"Evaluate": 12}}`
+	got, err := filterMetricsJSON(text, "cbes_accuracy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "cbes_accuracy_joined_total") || strings.Contains(got, "cbes_rpc") {
+		t.Errorf("filtered JSON = %s", got)
+	}
+	if _, err := filterMetricsJSON("not json", "x"); err == nil {
+		t.Error("invalid JSON should error")
 	}
 }

@@ -13,8 +13,10 @@
 //
 // With -debug-listen set, the daemon also serves an HTTP observability
 // endpoint: /metrics (Prometheus text exposition), /debug/vars (expvar
-// JSON), /debug/spans (recent traced spans), /healthz (liveness), /readyz
-// (readiness — 503 while the monitored cluster has down nodes), and the
+// JSON), /debug/spans (recent traced spans), /debug/accuracy (the
+// predicted-vs-actual calibration ledger, JSON or ?format=csv), /healthz
+// (liveness), /readyz (readiness — 503 while the monitored cluster has
+// down nodes; 200 with a warning line under calibration drift), and the
 // standard /debug/pprof profiles. The same metrics are available over RPC
 // via `cbesctl metrics`, so the control plane can scrape without HTTP.
 //
@@ -44,6 +46,7 @@ import (
 	"time"
 
 	"cbes"
+	"cbes/internal/accuracy"
 	"cbes/internal/bench"
 	"cbes/internal/cluster"
 	"cbes/internal/db"
@@ -191,13 +194,15 @@ func run() error {
 			return err
 		}
 		probes := &probes{sys: sys}
-		debugSrv = &http.Server{Handler: obs.DebugMux(obs.Default(), obs.DefaultTracer(), obs.DefaultRecorder(), probes.live, probes.ready)}
+		mux := obs.DebugMux(obs.Default(), obs.DefaultTracer(), obs.DefaultRecorder(), probes.live, probes.ready)
+		mux.Handle("/debug/accuracy", accuracy.Handler(accuracy.Default()))
+		debugSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := debugSrv.Serve(dl); err != nil && err != http.ErrServerClosed {
 				log.Printf("cbesd: debug endpoint: %v", err)
 			}
 		}()
-		log.Printf("cbesd: debug endpoint on http://%s (/metrics /debug/vars /debug/spans /debug/trace /debug/decisions /healthz /readyz /debug/pprof)", dl.Addr())
+		log.Printf("cbesd: debug endpoint on http://%s (/metrics /debug/vars /debug/spans /debug/trace /debug/decisions /debug/accuracy /healthz /readyz /debug/pprof)", dl.Addr())
 	}
 
 	fmt.Printf("cbesd: serving %s (%d nodes) on %s, apps: %s\n",
@@ -259,6 +264,14 @@ func (p *probes) ready() error {
 	// a long-running Schedule.
 	if down, suspect := monitor.LastHealthGauges(); down > 0 {
 		return fmt.Errorf("degraded: %d nodes down, %d suspect", down, suspect)
+	}
+	// Calibration drift is a warning, not a failure: predictions are still
+	// served (with their error bands), so the daemon stays in rotation,
+	// but operators see it on the probe and cbes_calibration_ok flips.
+	if led := accuracy.Default(); !led.CalibrationOK() {
+		st := led.Status()
+		return obs.Warnf("calibration drift: recent MAPE %.1f%% (n=%d) vs baseline %.1f%% (n=%d)",
+			st.WindowMAPEPct, st.WindowN, st.BaselineMAPEPct, st.BaselineN)
 	}
 	return nil
 }

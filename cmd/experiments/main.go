@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"cbes/internal/accuracy"
 	"cbes/internal/experiments"
 )
 
@@ -133,6 +134,28 @@ func main() {
 		}
 		fmt.Printf("CSV results exported to %s\n", *csvDir)
 	}
+	printAccuracySummary()
 	fmt.Printf("total: %d experiment(s) in %.1fs (scale %.2f, seed %d)\n",
 		ran, time.Since(start).Seconds(), *scale, *seed)
+}
+
+// printAccuracySummary reports the predicted-vs-actual ledger the experiment
+// hooks fed while running (fig5, table2 — see internal/accuracy).
+func printAccuracySummary() {
+	led := accuracy.Default()
+	st := led.Status()
+	if st.Joined == 0 {
+		return
+	}
+	cal := "OK"
+	if !st.CalibrationOK {
+		cal = "DRIFT"
+	}
+	fmt.Printf("accuracy ledger: %d predicted-vs-actual pairs  bias %+.1f%%  MAPE %.1f%%  calibration %s\n",
+		st.Joined, st.BiasPct, st.MAPEPct, cal)
+	for _, b := range led.Stats(accuracy.StatsQuery{}) {
+		fmt.Printf("  %-28s %-12s n=%-4d bias %+6.1f%%  mape %5.1f%%  p90 %5.1f%%\n",
+			b.Key.App, b.Key.Scheduler, b.Count, b.BiasPct, b.MAPEPct, b.P90Pct)
+	}
+	fmt.Println()
 }

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	servicebench [-clients 16] [-duration 5s] [-compare-width 8]
-//	             [-min-speedup 0] [-o BENCH_cbes.json]
+//	             [-min-speedup 0] [-min-hit-rate 0] [-o BENCH_cbes.json]
 //
 // Both phases run in one process on a calibrated test topology with one
 // profiled synthetic application. Results — throughput, p50/p99 latency,
@@ -68,6 +68,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "wall time per phase")
 	compareWidth := flag.Int("compare-width", 8, "mappings per Compare request")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail unless sharded rps >= single-lock rps times this (0 disables)")
+	minHitRate := flag.Float64("min-hit-rate", 0, "fail unless the sharded-phase cache hit rate reaches this percentage (0 disables)")
 	out := flag.String("o", "BENCH_cbes.json", "benchjson snapshot to merge results into; empty disables")
 	flag.Parse()
 
@@ -109,6 +110,7 @@ func main() {
 				Extra: map[string]float64{
 					"rps": sharded.rps, "p50_ms": sharded.p50ms, "p99_ms": sharded.p99ms,
 					"hit_rate_pct": hitRate, "speedup_x": speedup,
+					"cache_hits": hits, "cache_misses": misses,
 				},
 			},
 		}
@@ -120,6 +122,10 @@ func main() {
 
 	if *minSpeedup > 0 && speedup < *minSpeedup {
 		log.Fatalf("servicebench: sharded path %.1fx over single-lock, need >= %.1fx", speedup, *minSpeedup)
+	}
+	if *minHitRate > 0 && hitRate < *minHitRate {
+		log.Fatalf("servicebench: cache hit rate %.1f%% (%.0f hits / %.0f misses), need >= %.1f%%",
+			hitRate, hits, misses, *minHitRate)
 	}
 }
 

@@ -1,0 +1,677 @@
+// Package accuracy closes the predicted-vs-actual feedback loop: every
+// prediction the service serves can be registered here under a stable
+// PredictionID, and every measured runtime — reported over the
+// ReportOutcome RPC or directly by the in-process executors (batch,
+// remap, experiments) — is joined back to its prediction in a bounded
+// ledger. From the joined pairs the ledger maintains online calibration
+// statistics (signed bias, MAPE, error quantiles over log-bucket
+// histograms) keyed by (app, scheduler, degraded flag, snapshot-age
+// bucket), plus a drift detector that compares a sliding window of
+// recent errors against the long-run baseline. Consumers: the Accuracy
+// RPC / `cbesctl accuracy` / `/debug/accuracy`, the cbes_calibration_ok
+// gauge and /readyz warning, and the empirical error band annotated onto
+// Prediction replies. ROADMAP item 2 (ENB / loss probability) reads its
+// measured error distribution from here instead of assuming one.
+//
+// The paper's premise is that the service's estimates are trustworthy;
+// this package is where that premise is checked against ground truth.
+package accuracy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cbes/internal/obs"
+)
+
+// Prediction is one served estimate awaiting its measured outcome.
+type Prediction struct {
+	// ID is the stable join key carried on the RPC reply and in the
+	// decision record. Begin assigns one when empty.
+	ID string
+	// App names the profiled application the estimate was for.
+	App string
+	// Scheduler is the decision context: a scheduling algorithm name
+	// ("cs", "sa", ...), "batch/<policy>", "remap", an experiment tag, or
+	// "" for plain evaluations.
+	Scheduler string
+	// Degraded marks profile-only fallback predictions — they get their
+	// own calibration bucket, quantifying what degraded mode costs.
+	Degraded bool
+	// AgeBucket coarsely bins the age of the monitor snapshot the
+	// prediction was computed from (see AgeBucket).
+	AgeBucket string
+	// Epoch is the snapshot epoch the prediction ran against.
+	Epoch uint64
+	// Predicted is the estimated execution time in seconds.
+	Predicted float64
+	// TraceID links back to the request's trace tree (hex spelling).
+	TraceID string
+	// At is when the prediction was served (Begin stamps time.Now if
+	// zero).
+	At time.Time
+}
+
+// Sample is one joined predicted-vs-actual pair. SignedErrPct is
+// (predicted−actual)/actual×100: positive means the service
+// over-predicted (conservative), negative under-predicted.
+type Sample struct {
+	Prediction
+	Actual       float64
+	SignedErrPct float64
+	AbsErrPct    float64
+	JoinedAt     time.Time
+}
+
+// Key identifies one calibration bucket.
+type Key struct {
+	App       string
+	Scheduler string
+	Degraded  bool
+	AgeBucket string
+}
+
+func (k Key) String() string {
+	deg := "ok"
+	if k.Degraded {
+		deg = "degraded"
+	}
+	sched := k.Scheduler
+	if sched == "" {
+		sched = "-"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s", k.App, sched, deg, k.AgeBucket)
+}
+
+// BucketStats is the exported calibration summary of one Key.
+type BucketStats struct {
+	Key
+	// Count is the number of joined samples in the bucket.
+	Count int
+	// BiasPct is the mean signed relative error (percent); MAPEPct the
+	// mean absolute relative error.
+	BiasPct float64
+	MAPEPct float64
+	// P50/P90/P99 are absolute-relative-error quantiles (percent),
+	// estimated from the bucket's log-scale histogram.
+	P50Pct float64
+	P90Pct float64
+	P99Pct float64
+	// Band is the empirical signed-error band [low, high] (percent):
+	// roughly the p10..p90 range of signed errors, the interval annotated
+	// onto Prediction replies.
+	BandLowPct  float64
+	BandHighPct float64
+}
+
+// Band is the empirical error band attached to served predictions once a
+// calibration bucket has enough joined outcomes. Samples == 0 means "no
+// band yet".
+type Band struct {
+	LowPct  float64
+	HighPct float64
+	Samples int
+}
+
+// Status is a snapshot of the ledger and its drift detector.
+type Status struct {
+	Predictions uint64
+	Outcomes    uint64
+	Joined      uint64
+	Unmatched   uint64
+	Expired     uint64
+	Pending     int
+	// Overall calibration across every bucket.
+	BiasPct float64
+	MAPEPct float64
+	// Drift detector state: the sliding recent-error window vs the
+	// long-run baseline (all joined samples before the window).
+	WindowN         int
+	WindowMAPEPct   float64
+	BaselineN       uint64
+	BaselineMAPEPct float64
+	CalibrationOK   bool
+}
+
+// Config sizes the ledger; zero fields take the defaults.
+type Config struct {
+	// PendingCap bounds predictions awaiting an outcome; the oldest is
+	// expired (counted, dropped) when a new one would exceed it.
+	// Default 4096.
+	PendingCap int
+	// SampleCap bounds the joined-sample ring kept for the CSV export.
+	// Default 1024.
+	SampleCap int
+	// DriftWindow is the sliding-window length of the drift detector
+	// (default 64); DriftMinSamples gates alarming until the window holds
+	// at least that many errors (default 16).
+	DriftWindow     int
+	DriftMinSamples int
+	// The window is drifted when its MAPE exceeds DriftFloorPct (default
+	// 25), or exceeds DriftFactor× the baseline MAPE (default 2.0) once a
+	// baseline of DriftMinSamples exists. The absolute floor catches
+	// ledgers that were biased from the very first join, where a
+	// ratio-only test can never fire because window and baseline drift
+	// together.
+	DriftFactor   float64
+	DriftFloorPct float64
+	// MinBandSamples is how many joined outcomes a bucket needs before
+	// its error band annotates replies. Default 8.
+	MinBandSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PendingCap <= 0 {
+		c.PendingCap = 4096
+	}
+	if c.SampleCap <= 0 {
+		c.SampleCap = 1024
+	}
+	if c.DriftWindow <= 0 {
+		c.DriftWindow = 64
+	}
+	if c.DriftMinSamples <= 0 {
+		c.DriftMinSamples = 16
+	}
+	if c.DriftFactor <= 0 {
+		c.DriftFactor = 2.0
+	}
+	if c.DriftFloorPct <= 0 {
+		c.DriftFloorPct = 25
+	}
+	if c.MinBandSamples <= 0 {
+		c.MinBandSamples = 8
+	}
+	return c
+}
+
+// ErrBuckets is the relative-error histogram bucket series: |err| as a
+// ratio from 0.01% up to 1000%.
+var ErrBuckets = obs.LogBuckets(1e-4, 10)
+
+// driftNoiseFloorPct keeps the ratio test from alarming on sub-percent
+// jitter: a window MAPE below this never trips the factor rule.
+const driftNoiseFloorPct = 1.0
+
+// bucket accumulates one Key's calibration state.
+type bucket struct {
+	n         int
+	sumSigned float64 // Σ signed relative error (ratio)
+	sumAbs    float64 // Σ |relative error|
+	absH      *obs.Histogram
+	overH     *obs.Histogram // signed ≥ 0 magnitudes (over-prediction)
+	underH    *obs.Histogram // signed < 0 magnitudes (under-prediction)
+	overN     int
+	underN    int
+}
+
+// band computes the bucket's signed-error band: the p10 of
+// under-prediction magnitudes (negated) to the p90 of over-prediction
+// magnitudes, weighted by which side the mass actually sits on. With all
+// samples on one side the band collapses onto that side.
+func (b *bucket) band() (loPct, hiPct float64) {
+	// Quantiles of signed error: under-predictions are the negative tail.
+	// Take roughly the 10th and 90th percentile of the signed
+	// distribution by splitting the rank across the two magnitude
+	// histograms (under sorted descending-negative, over ascending).
+	total := b.overN + b.underN
+	if total == 0 {
+		return 0, 0
+	}
+	// Low edge: 10th percentile of signed errors. If ≥10% of mass is
+	// under-predicted, it lies in the under histogram at magnitude
+	// quantile 1 - 0.1*total/underN; otherwise in the over side.
+	lo := signedQuantile(0.10, b)
+	hi := signedQuantile(0.90, b)
+	return lo * 100, hi * 100
+}
+
+// signedQuantile estimates the q-quantile of the signed relative-error
+// distribution from the two magnitude histograms.
+func signedQuantile(q float64, b *bucket) float64 {
+	total := float64(b.overN + b.underN)
+	if total == 0 {
+		return 0
+	}
+	rank := q * total // 0..total, ascending over signed values
+	if float64(b.underN) >= rank && b.underN > 0 {
+		// Inside the negative tail. Ascending signed order visits under
+		// magnitudes from largest to smallest, so the signed q-quantile is
+		// the (1 - rank/underN) magnitude quantile, negated.
+		mq := 1 - rank/float64(b.underN)
+		return -b.underH.Quantile(clamp01(mq))
+	}
+	if b.overN == 0 {
+		return 0
+	}
+	mq := (rank - float64(b.underN)) / float64(b.overN)
+	return b.overH.Quantile(clamp01(mq))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Ledger joins predictions with outcomes and maintains the calibration
+// statistics. All methods are safe for concurrent use; the critical
+// sections are small (map ops plus a handful of float updates) so Begin
+// on the service hot path costs about as much as a prediction-cache
+// probe.
+type Ledger struct {
+	cfg Config
+	seq atomic.Uint64
+
+	mu       sync.Mutex
+	pending  map[string]Prediction
+	fifo     []string // pending IDs in admission order (eviction ring)
+	fifoNext int
+
+	samples  []Sample // joined-pair ring for the CSV export
+	sampNext int
+	sampN    int
+
+	buckets map[Key]*bucket
+
+	// Drift detector: sliding window of recent |relative errors| vs the
+	// cumulative baseline of everything before the window.
+	window  []float64
+	winNext int
+	winN    int
+	winSum  float64
+
+	totalAbs    float64 // Σ |relative error| over all joined samples
+	totalSigned float64 // Σ signed relative error over all joined samples
+
+	predictions uint64
+	outcomes    uint64
+	joined      uint64
+	unmatched   uint64
+	expired     uint64
+	ok          bool
+}
+
+// New builds a ledger. The zero Config takes the documented defaults.
+func New(cfg Config) *Ledger {
+	cfg = cfg.withDefaults()
+	return &Ledger{
+		cfg:     cfg,
+		pending: make(map[string]Prediction, cfg.PendingCap),
+		fifo:    make([]string, cfg.PendingCap),
+		samples: make([]Sample, cfg.SampleCap),
+		buckets: map[Key]*bucket{},
+		window:  make([]float64, cfg.DriftWindow),
+		ok:      true,
+	}
+}
+
+// Default-ledger Prometheus metrics. Per-bucket stats stay in the ledger
+// (app names are unbounded, and the obs convention forbids them as
+// labels); the registry carries only the global aggregates.
+var (
+	mPredictions = obs.Default().Counter(
+		"cbes_accuracy_predictions_total", "Predictions registered with the accuracy ledger.")
+	mOutcomes = obs.Default().Counter(
+		"cbes_accuracy_outcomes_total", "Measured outcomes reported to the accuracy ledger.")
+	mJoined = obs.Default().Counter(
+		"cbes_accuracy_joined_total", "Outcome reports successfully joined to a pending prediction.")
+	mUnmatched = obs.Default().Counter(
+		"cbes_accuracy_unmatched_total", "Outcome reports with no matching pending prediction (unknown, expired, or invalid).")
+	mExpired = obs.Default().Counter(
+		"cbes_accuracy_expired_total", "Pending predictions evicted before any outcome arrived.")
+	mPending = obs.Default().Gauge(
+		"cbes_accuracy_pending", "Predictions currently awaiting a reported outcome.")
+	mAbsErr = obs.Default().Histogram(
+		"cbes_accuracy_abs_err_ratio", "Absolute relative error |pred-actual|/actual of joined predictions.", ErrBuckets)
+	mCalibrationOK = obs.Default().Gauge(
+		"cbes_calibration_ok", "1 while recent prediction error is consistent with the long-run baseline, 0 under drift.")
+)
+
+var defaultLedger = func() *Ledger {
+	l := New(Config{})
+	mCalibrationOK.Set(1)
+	return l
+}()
+
+// Default returns the process-wide ledger the service, batch runner,
+// remap executor, and experiments all feed.
+func Default() *Ledger { return defaultLedger }
+
+func (l *Ledger) nextID() string {
+	return "p" + strconv.FormatUint(l.seq.Add(1), 16)
+}
+
+// Begin registers a served prediction and returns its ID (assigning one
+// if p.ID is empty). The prediction waits in the bounded pending store
+// until an outcome is reported for it or it is evicted by newer entries.
+func (l *Ledger) Begin(p Prediction) string {
+	if p.At.IsZero() {
+		p.At = time.Now()
+	}
+	if p.ID == "" {
+		p.ID = l.nextID()
+	}
+	l.mu.Lock()
+	if old := l.fifo[l.fifoNext]; old != "" {
+		if _, live := l.pending[old]; live {
+			delete(l.pending, old)
+			l.expired++
+			if l == defaultLedger {
+				mExpired.Inc()
+			}
+		}
+	}
+	l.fifo[l.fifoNext] = p.ID
+	l.fifoNext = (l.fifoNext + 1) % len(l.fifo)
+	l.pending[p.ID] = p
+	l.predictions++
+	pendingN := len(l.pending)
+	l.mu.Unlock()
+	if l == defaultLedger {
+		mPredictions.Inc()
+		mPending.Set(float64(pendingN))
+	}
+	return p.ID
+}
+
+// ErrUnknownID reports an outcome that matched no pending prediction —
+// the ID was never issued, was already joined, or was evicted.
+var ErrUnknownID = errors.New("accuracy: unknown or expired prediction id")
+
+// Report joins a measured runtime (seconds) to the pending prediction
+// with the given ID and folds the error into the calibration statistics.
+func (l *Ledger) Report(id string, actualSeconds float64) (Sample, error) {
+	if !(actualSeconds > 0) || math.IsInf(actualSeconds, 0) {
+		l.mu.Lock()
+		l.outcomes++
+		l.unmatched++
+		l.mu.Unlock()
+		if l == defaultLedger {
+			mOutcomes.Inc()
+			mUnmatched.Inc()
+		}
+		return Sample{}, fmt.Errorf("accuracy: actual seconds must be positive and finite, got %v", actualSeconds)
+	}
+	l.mu.Lock()
+	p, live := l.pending[id]
+	if !live {
+		l.outcomes++
+		l.unmatched++
+		l.mu.Unlock()
+		if l == defaultLedger {
+			mOutcomes.Inc()
+			mUnmatched.Inc()
+		}
+		return Sample{}, fmt.Errorf("%w: %q", ErrUnknownID, id)
+	}
+	delete(l.pending, id)
+	l.outcomes++
+	s := l.joinLocked(p, actualSeconds)
+	pendingN := len(l.pending)
+	okNow := l.ok
+	l.mu.Unlock()
+	if l == defaultLedger {
+		mOutcomes.Inc()
+		mJoined.Inc()
+		mPending.Set(float64(pendingN))
+		mAbsErr.Observe(s.AbsErrPct / 100)
+		setCalibrationGauge(okNow)
+	}
+	return s, nil
+}
+
+// ReportPair registers a prediction and its outcome in one call — the
+// in-process hook for executors (batch, remap, experiments) that hold
+// both sides already. Invalid inputs (non-positive predicted or actual)
+// are dropped with a zero Sample.
+func (l *Ledger) ReportPair(p Prediction, actualSeconds float64) Sample {
+	if !(actualSeconds > 0) || !(p.Predicted > 0) ||
+		math.IsInf(actualSeconds, 0) || math.IsInf(p.Predicted, 0) {
+		return Sample{}
+	}
+	if p.At.IsZero() {
+		p.At = time.Now()
+	}
+	if p.ID == "" {
+		p.ID = l.nextID()
+	}
+	l.mu.Lock()
+	l.predictions++
+	l.outcomes++
+	s := l.joinLocked(p, actualSeconds)
+	okNow := l.ok
+	l.mu.Unlock()
+	if l == defaultLedger {
+		mPredictions.Inc()
+		mOutcomes.Inc()
+		mJoined.Inc()
+		mAbsErr.Observe(s.AbsErrPct / 100)
+		setCalibrationGauge(okNow)
+	}
+	return s
+}
+
+func setCalibrationGauge(ok bool) {
+	if ok {
+		mCalibrationOK.Set(1)
+	} else {
+		mCalibrationOK.Set(0)
+	}
+}
+
+// joinLocked folds one joined pair into the per-bucket statistics and
+// the drift detector. Caller holds l.mu.
+func (l *Ledger) joinLocked(p Prediction, actual float64) Sample {
+	signed := (p.Predicted - actual) / actual
+	abs := math.Abs(signed)
+	s := Sample{
+		Prediction:   p,
+		Actual:       actual,
+		SignedErrPct: signed * 100,
+		AbsErrPct:    abs * 100,
+		JoinedAt:     time.Now(),
+	}
+
+	// Sample ring (CSV export), overwrite-oldest.
+	l.samples[l.sampNext] = s
+	l.sampNext = (l.sampNext + 1) % len(l.samples)
+	if l.sampN < len(l.samples) {
+		l.sampN++
+	}
+
+	// Per-bucket calibration stats.
+	k := Key{App: p.App, Scheduler: p.Scheduler, Degraded: p.Degraded, AgeBucket: p.AgeBucket}
+	b := l.buckets[k]
+	if b == nil {
+		b = &bucket{
+			absH:   obs.NewHistogram(ErrBuckets),
+			overH:  obs.NewHistogram(ErrBuckets),
+			underH: obs.NewHistogram(ErrBuckets),
+		}
+		l.buckets[k] = b
+	}
+	b.n++
+	b.sumSigned += signed
+	b.sumAbs += abs
+	b.absH.Observe(abs)
+	if signed >= 0 {
+		b.overH.Observe(abs)
+		b.overN++
+	} else {
+		b.underH.Observe(abs)
+		b.underN++
+	}
+
+	// Drift detector: slide the window, keep the cumulative baseline.
+	if l.winN == len(l.window) {
+		l.winSum -= l.window[l.winNext]
+	}
+	l.window[l.winNext] = abs
+	l.winNext = (l.winNext + 1) % len(l.window)
+	if l.winN < len(l.window) {
+		l.winN++
+	}
+	l.winSum += abs
+	l.totalAbs += abs
+	l.totalSigned += signed
+	l.joined++
+	l.ok = !l.driftedLocked()
+	return s
+}
+
+// driftedLocked evaluates the drift rule. Caller holds l.mu.
+func (l *Ledger) driftedLocked() bool {
+	if l.winN < l.cfg.DriftMinSamples {
+		return false
+	}
+	winMAPE := l.winSum / float64(l.winN) * 100
+	if winMAPE >= l.cfg.DriftFloorPct {
+		return true
+	}
+	baseN := l.joined - uint64(l.winN)
+	if baseN < uint64(l.cfg.DriftMinSamples) || winMAPE < driftNoiseFloorPct {
+		return false
+	}
+	baseMAPE := (l.totalAbs - l.winSum) / float64(baseN) * 100
+	return baseMAPE > 0 && winMAPE >= baseMAPE*l.cfg.DriftFactor
+}
+
+// CalibrationOK reports whether the drift detector currently considers
+// recent prediction error consistent with the baseline.
+func (l *Ledger) CalibrationOK() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ok
+}
+
+// Status snapshots the ledger counters and drift state.
+func (l *Ledger) Status() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Status{
+		Predictions:   l.predictions,
+		Outcomes:      l.outcomes,
+		Joined:        l.joined,
+		Unmatched:     l.unmatched,
+		Expired:       l.expired,
+		Pending:       len(l.pending),
+		WindowN:       l.winN,
+		CalibrationOK: l.ok,
+	}
+	if l.joined > 0 {
+		st.BiasPct = l.totalSigned / float64(l.joined) * 100
+		st.MAPEPct = l.totalAbs / float64(l.joined) * 100
+	}
+	if l.winN > 0 {
+		st.WindowMAPEPct = l.winSum / float64(l.winN) * 100
+	}
+	if base := l.joined - uint64(l.winN); base > 0 {
+		st.BaselineN = base
+		st.BaselineMAPEPct = (l.totalAbs - l.winSum) / float64(base) * 100
+	}
+	return st
+}
+
+// StatsQuery filters a Stats read; empty fields match everything.
+type StatsQuery struct {
+	App       string
+	Scheduler string
+}
+
+// Stats returns the per-bucket calibration summaries matching q, in
+// deterministic key order.
+func (l *Ledger) Stats(q StatsQuery) []BucketStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]BucketStats, 0, len(l.buckets))
+	for k, b := range l.buckets {
+		if q.App != "" && k.App != q.App {
+			continue
+		}
+		if q.Scheduler != "" && k.Scheduler != q.Scheduler {
+			continue
+		}
+		bs := BucketStats{
+			Key:     k,
+			Count:   b.n,
+			BiasPct: b.sumSigned / float64(b.n) * 100,
+			MAPEPct: b.sumAbs / float64(b.n) * 100,
+			P50Pct:  b.absH.Quantile(0.50) * 100,
+			P90Pct:  b.absH.Quantile(0.90) * 100,
+			P99Pct:  b.absH.Quantile(0.99) * 100,
+		}
+		bs.BandLowPct, bs.BandHighPct = b.band()
+		out = append(out, bs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		if a.Scheduler != b.Scheduler {
+			return a.Scheduler < b.Scheduler
+		}
+		if a.Degraded != b.Degraded {
+			return !a.Degraded
+		}
+		return a.AgeBucket < b.AgeBucket
+	})
+	return out
+}
+
+// BandFor returns the empirical signed-error band for a calibration
+// bucket, or a zero Band (Samples == 0) while the bucket has fewer than
+// MinBandSamples joined outcomes. This is the hot-path reply annotation:
+// one mutex acquisition plus two histogram quantile scans.
+func (l *Ledger) BandFor(k Key) Band {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[k]
+	if b == nil || b.n < l.cfg.MinBandSamples {
+		return Band{}
+	}
+	lo, hi := b.band()
+	return Band{LowPct: lo, HighPct: hi, Samples: b.n}
+}
+
+// Samples returns up to n joined pairs, newest first (n <= 0 returns all
+// resident pairs).
+func (l *Ledger) Samples(n int) []Sample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > l.sampN {
+		n = l.sampN
+	}
+	out := make([]Sample, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.samples[(l.sampNext-i+len(l.samples))%len(l.samples)])
+	}
+	return out
+}
+
+// AgeBucket coarsely bins a snapshot age (seconds) for calibration
+// keying: fresh data should predict better than stale data, and the
+// bucketed key makes that measurable without unbounded cardinality.
+func AgeBucket(ageSeconds float64) string {
+	switch {
+	case ageSeconds < 1:
+		return "<1s"
+	case ageSeconds < 5:
+		return "1-5s"
+	case ageSeconds < 30:
+		return "5-30s"
+	default:
+		return "30s+"
+	}
+}

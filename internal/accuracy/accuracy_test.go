@@ -1,0 +1,275 @@
+package accuracy
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBeginReportJoins(t *testing.T) {
+	l := New(Config{})
+	id := l.Begin(Prediction{App: "lu", Scheduler: "cs", Predicted: 100, AgeBucket: "<1s"})
+	if id == "" {
+		t.Fatal("Begin returned empty id")
+	}
+	s, err := l.Report(id, 80) // predicted 100, actual 80 → over-prediction
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.SignedErrPct-25) > 1e-9 {
+		t.Fatalf("signed err = %v, want +25 (over-prediction positive)", s.SignedErrPct)
+	}
+	if math.Abs(s.AbsErrPct-25) > 1e-9 {
+		t.Fatalf("abs err = %v, want 25", s.AbsErrPct)
+	}
+	st := l.Status()
+	if st.Joined != 1 || st.Pending != 0 || st.Predictions != 1 || st.Outcomes != 1 {
+		t.Fatalf("status after join: %+v", st)
+	}
+	// A second report for the same ID must fail: the join is one-shot.
+	if _, err := l.Report(id, 80); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("double report err = %v, want ErrUnknownID", err)
+	}
+}
+
+func TestReportUnknownAndInvalid(t *testing.T) {
+	l := New(Config{})
+	if _, err := l.Report("nope", 5); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("unknown id err = %v", err)
+	}
+	id := l.Begin(Prediction{App: "lu", Predicted: 10})
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := l.Report(id, bad); err == nil {
+			t.Fatalf("actual=%v accepted", bad)
+		}
+	}
+	// The invalid outcomes must not have consumed the pending entry.
+	if _, err := l.Report(id, 10); err != nil {
+		t.Fatalf("valid report after invalid ones: %v", err)
+	}
+	st := l.Status()
+	if st.Unmatched != 5 {
+		t.Fatalf("unmatched = %d, want 5 (1 unknown + 4 invalid)", st.Unmatched)
+	}
+}
+
+func TestPendingEviction(t *testing.T) {
+	l := New(Config{PendingCap: 4})
+	ids := make([]string, 6)
+	for i := range ids {
+		ids[i] = l.Begin(Prediction{App: "lu", Predicted: 10})
+	}
+	// The two oldest must have been evicted and counted.
+	for _, id := range ids[:2] {
+		if _, err := l.Report(id, 10); !errors.Is(err, ErrUnknownID) {
+			t.Fatalf("evicted id %s still joinable (err=%v)", id, err)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, err := l.Report(id, 10); err != nil {
+			t.Fatalf("resident id %s: %v", id, err)
+		}
+	}
+	if st := l.Status(); st.Expired != 2 || st.Joined != 4 {
+		t.Fatalf("expired=%d joined=%d, want 2/4", st.Expired, st.Joined)
+	}
+}
+
+func TestBucketStatsAndBand(t *testing.T) {
+	l := New(Config{MinBandSamples: 4})
+	k := Key{App: "lu", Scheduler: "cs", AgeBucket: "<1s"}
+	// 10 over-predictions at +20%, 10 under at -10%.
+	for i := 0; i < 10; i++ {
+		l.ReportPair(Prediction{App: k.App, Scheduler: k.Scheduler, AgeBucket: k.AgeBucket, Predicted: 120}, 100)
+		l.ReportPair(Prediction{App: k.App, Scheduler: k.Scheduler, AgeBucket: k.AgeBucket, Predicted: 90}, 100)
+	}
+	stats := l.Stats(StatsQuery{App: "lu"})
+	if len(stats) != 1 {
+		t.Fatalf("stats buckets = %d, want 1", len(stats))
+	}
+	bs := stats[0]
+	if bs.Count != 20 {
+		t.Fatalf("count = %d", bs.Count)
+	}
+	if math.Abs(bs.BiasPct-5) > 1e-9 { // mean of +20 and -10
+		t.Fatalf("bias = %v, want +5", bs.BiasPct)
+	}
+	if math.Abs(bs.MAPEPct-15) > 1e-9 {
+		t.Fatalf("MAPE = %v, want 15", bs.MAPEPct)
+	}
+	band := l.BandFor(k)
+	if band.Samples != 20 {
+		t.Fatalf("band samples = %d", band.Samples)
+	}
+	// The band must straddle zero and bracket the two error modes within
+	// log-bucket resolution.
+	if band.LowPct >= 0 || band.HighPct <= 0 {
+		t.Fatalf("band [%v, %v] does not straddle 0", band.LowPct, band.HighPct)
+	}
+	if band.LowPct < -25 || band.HighPct > 50 {
+		t.Fatalf("band [%v, %v] implausibly wide for ±20%% errors", band.LowPct, band.HighPct)
+	}
+	// An unseen or under-sampled bucket yields no band.
+	if b := l.BandFor(Key{App: "ghost"}); b.Samples != 0 {
+		t.Fatalf("ghost band = %+v", b)
+	}
+}
+
+func TestDriftFlipsAndRecovers(t *testing.T) {
+	l := New(Config{DriftWindow: 8, DriftMinSamples: 4, DriftFloorPct: 25, DriftFactor: 2})
+	good := func() { l.ReportPair(Prediction{App: "lu", Predicted: 101}, 100) } // 1% err
+	bad := func() { l.ReportPair(Prediction{App: "lu", Predicted: 180}, 100) }  // 80% err
+	for i := 0; i < 16; i++ {
+		good()
+	}
+	if !l.CalibrationOK() {
+		t.Fatal("calibration not OK on 1% errors")
+	}
+	for i := 0; i < 8; i++ {
+		bad()
+	}
+	st := l.Status()
+	if st.CalibrationOK {
+		t.Fatalf("drift did not trip: %+v", st)
+	}
+	if st.WindowMAPEPct < 25 {
+		t.Fatalf("window MAPE = %v, expected ≥ floor", st.WindowMAPEPct)
+	}
+	// Good outcomes flush the window and the alarm clears.
+	for i := 0; i < 8; i++ {
+		good()
+	}
+	if !l.CalibrationOK() {
+		t.Fatalf("calibration did not recover: %+v", l.Status())
+	}
+}
+
+func TestDriftFloorTripsWithoutBaseline(t *testing.T) {
+	// Biased from the very first join: the ratio rule can never fire
+	// (window == baseline), so the absolute floor must.
+	l := New(Config{DriftWindow: 16, DriftMinSamples: 8, DriftFloorPct: 25})
+	for i := 0; i < 8; i++ {
+		l.ReportPair(Prediction{App: "lu", Predicted: 150}, 100) // 50% err
+	}
+	if l.CalibrationOK() {
+		t.Fatalf("floor rule did not trip: %+v", l.Status())
+	}
+}
+
+func TestSamplesNewestFirst(t *testing.T) {
+	l := New(Config{SampleCap: 4})
+	for i := 1; i <= 6; i++ {
+		l.ReportPair(Prediction{App: fmt.Sprintf("a%d", i), Predicted: 10}, 10)
+	}
+	got := l.Samples(0)
+	if len(got) != 4 {
+		t.Fatalf("resident samples = %d, want 4", len(got))
+	}
+	for i, want := range []string{"a6", "a5", "a4", "a3"} {
+		if got[i].App != want {
+			t.Fatalf("samples[%d].App = %s, want %s", i, got[i].App, want)
+		}
+	}
+	if got2 := l.Samples(2); len(got2) != 2 || got2[0].App != "a6" {
+		t.Fatalf("Samples(2) = %+v", got2)
+	}
+}
+
+func TestAgeBucket(t *testing.T) {
+	cases := map[float64]string{
+		-1: "<1s", 0: "<1s", 0.9: "<1s", 1: "1-5s", 4.9: "1-5s",
+		5: "5-30s", 29: "5-30s", 30: "30s+", 300: "30s+",
+	}
+	for age, want := range cases {
+		if got := AgeBucket(age); got != want {
+			t.Fatalf("AgeBucket(%v) = %s, want %s", age, got, want)
+		}
+	}
+}
+
+func TestConcurrentBeginReport(t *testing.T) {
+	l := New(Config{PendingCap: 64, SampleCap: 64})
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			app := fmt.Sprintf("app%d", g)
+			for i := 0; i < perG; i++ {
+				id := l.Begin(Prediction{App: app, Predicted: 100})
+				// Evictions under the small pending cap are expected; both
+				// outcomes must keep the counters consistent.
+				l.Report(id, 90+float64(i%20)) //nolint:errcheck
+				l.BandFor(Key{App: app})
+				if i%32 == 0 {
+					l.Status()
+					l.Stats(StatsQuery{App: app})
+					l.Samples(8)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := l.Status()
+	const total = goroutines * perG
+	if st.Predictions != total || st.Outcomes != total {
+		t.Fatalf("predictions=%d outcomes=%d, want %d", st.Predictions, st.Outcomes, total)
+	}
+	if st.Joined+st.Unmatched != total {
+		t.Fatalf("joined=%d unmatched=%d don't partition %d outcomes", st.Joined, st.Unmatched, total)
+	}
+	if st.Unmatched != st.Expired {
+		t.Fatalf("unmatched=%d != expired=%d: every miss must come from eviction", st.Unmatched, st.Expired)
+	}
+}
+
+func TestHandlerJSONAndCSV(t *testing.T) {
+	l := New(Config{})
+	id := l.Begin(Prediction{App: "lu", Scheduler: "cs", Predicted: 100, AgeBucket: "<1s"})
+	if _, err := l.Report(id, 80); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := httptest.NewRecorder()
+	Handler(l).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/accuracy", nil))
+	if rr.Code != 200 {
+		t.Fatalf("JSON status %d", rr.Code)
+	}
+	var doc struct {
+		Status  Status
+		Buckets []BucketStats
+		Samples []Sample
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status.Joined != 1 || len(doc.Buckets) != 1 || len(doc.Samples) != 1 {
+		t.Fatalf("JSON doc: %+v", doc)
+	}
+
+	rr = httptest.NewRecorder()
+	Handler(l).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/accuracy?format=csv", nil))
+	rows, err := csv.NewReader(rr.Body).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != "prediction_id" {
+		t.Fatalf("CSV rows: %v", rows)
+	}
+	if rows[1][0] != id || rows[1][5] != "100" || rows[1][6] != "80" {
+		t.Fatalf("CSV pair row: %v", rows[1])
+	}
+
+	rr = httptest.NewRecorder()
+	Handler(l).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/accuracy?n=zap", nil))
+	if rr.Code != 400 || !strings.Contains(rr.Body.String(), "bad n") {
+		t.Fatalf("bad n: %d %q", rr.Code, rr.Body.String())
+	}
+}

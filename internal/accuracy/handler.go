@@ -1,0 +1,68 @@
+// HTTP exposure of the accuracy ledger: /debug/accuracy serves the
+// calibration summary as JSON and the joined predicted-vs-actual pairs
+// as scatter-ready CSV.
+package accuracy
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the ledger. Default: a JSON document with the Status,
+// per-bucket calibration stats (?app=, ?scheduler= filter), and the ?n=
+// most recent joined samples (default 20). ?format=csv instead streams
+// the resident joined pairs as CSV — one row per pair with predicted and
+// actual seconds side by side, ready for a scatter plot.
+func Handler(l *Ledger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		qv := req.URL.Query()
+		n, nSet := 20, false
+		if ns := qv.Get("n"); ns != "" {
+			v, err := strconv.Atoi(ns)
+			if err != nil || v < 0 {
+				http.Error(w, "accuracy: bad n "+strconv.Quote(ns), http.StatusBadRequest)
+				return
+			}
+			n, nSet = v, true
+		}
+		if qv.Get("format") == "csv" {
+			if !nSet {
+				n = 0 // CSV defaults to every resident pair
+			}
+			writeCSV(w, l.Samples(n))
+			return
+		}
+		doc := struct {
+			Status  Status        `json:"status"`
+			Buckets []BucketStats `json:"buckets"`
+			Samples []Sample      `json:"samples"`
+		}{
+			Status:  l.Status(),
+			Buckets: l.Stats(StatsQuery{App: qv.Get("app"), Scheduler: qv.Get("scheduler")}),
+			Samples: l.Samples(n),
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck // best-effort debug endpoint
+	})
+}
+
+func writeCSV(w http.ResponseWriter, samples []Sample) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	cw := csv.NewWriter(w)
+	cw.Write([]string{ //nolint:errcheck // best-effort debug endpoint
+		"prediction_id", "app", "scheduler", "degraded", "age_bucket",
+		"predicted_s", "actual_s", "signed_err_pct", "abs_err_pct",
+	})
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range samples {
+		cw.Write([]string{ //nolint:errcheck
+			s.ID, s.App, s.Scheduler, strconv.FormatBool(s.Degraded), s.AgeBucket,
+			f(s.Predicted), f(s.Actual), f(s.SignedErrPct), f(s.AbsErrPct),
+		})
+	}
+	cw.Flush()
+}

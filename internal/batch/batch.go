@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"cbes"
+	"cbes/internal/accuracy"
 	"cbes/internal/core"
 	"cbes/internal/des"
 	"cbes/internal/schedule"
@@ -42,6 +43,13 @@ type JobResult struct {
 	Start   des.Time
 	End     des.Time
 	Mapping core.Mapping
+	// Predicted is the CBES estimate for the placed mapping at start time
+	// (0 when no prediction was possible); PredictionID keys the pair in
+	// the accuracy ledger, where the measured runtime is joined back on
+	// completion. Every policy is audited, including the prediction-blind
+	// ones — that contrast is the point.
+	Predicted    float64
+	PredictionID string
 }
 
 // Wait is the queueing delay before the job started.
@@ -212,10 +220,32 @@ func Run(sys *cbes.System, policy Policy, jobs []Job, seed int64) (*Report, erro
 			}
 			results[job.ID].Start = sys.Eng.Now()
 			results[job.ID].Mapping = mapping.Clone()
+			// Close the predicted-vs-actual loop: register the estimate for
+			// the placed mapping now, join the measured runtime on
+			// completion. Predict and Snapshot are engine-context-safe here
+			// (Place may already call Snapshot on this path).
+			if eval, err := sys.Evaluator(job.Prog.Name); err == nil {
+				snap := sys.Snapshot()
+				if pred, err := eval.Predict(mapping, snap); err == nil && pred.Seconds > 0 {
+					results[job.ID].Predicted = pred.Seconds
+					results[job.ID].PredictionID = accuracy.Default().Begin(accuracy.Prediction{
+						App:       job.Prog.Name,
+						Scheduler: "batch/" + policy.Name(),
+						Degraded:  pred.Degraded,
+						AgeBucket: accuracy.AgeBucket(snap.MaxAge(mapping)),
+						Epoch:     snap.Epoch,
+						Predicted: pred.Seconds,
+					})
+				}
+			}
 			w := sys.Launch(job.Prog, mapping)
 			sys.Eng.Spawn(fmt.Sprintf("reaper-%d", job.ID), func(p *des.Proc) {
 				w.WaitIn(p)
 				results[job.ID].End = sys.Eng.Now()
+				if id := results[job.ID].PredictionID; id != "" {
+					ran := (results[job.ID].End - results[job.ID].Start).Seconds()
+					accuracy.Default().Report(id, ran) //nolint:errcheck // eviction under load is fine
+				}
 				for _, node := range results[job.ID].Mapping {
 					busy[node] = false
 				}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cbes/internal/accuracy"
 	"cbes/internal/monitor"
 	"cbes/internal/parfor"
 	"cbes/internal/stats"
@@ -87,6 +88,14 @@ func Fig5(l *Lab, cfg Config) *Fig5Result {
 		errs := make([]float64, runs)
 		for r, actual := range times {
 			errs[r] = errPct(pred, actual)
+			// Feed every (predicted, measured) pair into the accuracy
+			// ledger so the figure-5 study doubles as calibration data.
+			accuracy.Default().ReportPair(accuracy.Prediction{
+				App:       tc.prog.Name,
+				Scheduler: "fig5",
+				AgeBucket: accuracy.AgeBucket(0),
+				Predicted: pred,
+			}, actual)
 		}
 		mean, ci := stats.MeanCI(errs)
 		res.Cases = append(res.Cases, Fig5Case{

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"cbes/internal/accuracy"
 	"cbes/internal/cluster"
 	"cbes/internal/core"
 	"cbes/internal/monitor"
@@ -312,6 +313,14 @@ func Table2(l *Lab, cfg Config) *Table2Result {
 				if preds[si][k] <= bestPred*1.005 {
 					hits++
 				}
+				// Join scheduler estimates with their measured runs in the
+				// accuracy ledger (serial assembly — safe to report here).
+				accuracy.Default().ReportPair(accuracy.Prediction{
+					App:       prog.Name,
+					Scheduler: "table2/" + sched,
+					AgeBucket: accuracy.AgeBucket(0),
+					Predicted: preds[si][k],
+				}, meas[si][k])
 			}
 			row.AvgPredicted, row.PredCI = stats.MeanCI(preds[si])
 			row.HitsPct = float64(hits) / float64(runs) * 100

@@ -115,6 +115,22 @@ func (s *Snapshot) AgeOf(i int) float64 {
 	return s.SampleAge[i]
 }
 
+// MaxAge reports the worst (largest) sample age across the given nodes in
+// simulated seconds — the staleness of the most out-of-date sensor a
+// prediction over those nodes depended on. Accuracy calibration buckets
+// predictions by this value: estimates from stale data should err more,
+// and bucketing makes that measurable. Duplicate or out-of-range node
+// indices are tolerated (out-of-range ages are 0, matching AgeOf).
+func (s *Snapshot) MaxAge(nodes []int) float64 {
+	max := 0.0
+	for _, n := range nodes {
+		if a := s.AgeOf(n); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
 // HealthCounts tallies the snapshot's node health states.
 func (s *Snapshot) HealthCounts() (ok, suspect, down int) {
 	ok = len(s.AvailCPU)

@@ -4,6 +4,7 @@
 package obs
 
 import (
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -166,18 +167,48 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
-// probeHandler renders one health probe: check() == nil ⇒ 200 "ok",
-// otherwise 503 with the error text. A nil check always passes.
+// warnError is a probe result that should surface to operators without
+// failing the probe: the endpoint stays 200 (traffic keeps flowing) but
+// the body carries a "warning:" line for humans and smoke scripts.
+type warnError struct{ msg string }
+
+func (w *warnError) Error() string { return w.msg }
+
+// Warnf builds a probe warning. Returned from a live/ready check, it
+// keeps the probe passing (HTTP 200) while appending "warning: <text>"
+// to the body — for conditions like calibration drift that an operator
+// must see but that must not pull the daemon out of rotation.
+func Warnf(format string, a ...any) error {
+	return &warnError{msg: fmt.Sprintf(format, a...)}
+}
+
+// IsWarning reports whether err is (or wraps) a probe warning built by
+// Warnf.
+func IsWarning(err error) bool {
+	var w *warnError
+	return errors.As(err, &w)
+}
+
+// probeHandler renders one health probe: check() == nil ⇒ 200 "ok", a
+// Warnf result ⇒ 200 "ok" plus a warning line, any other error ⇒ 503
+// with the error text. A nil check always passes.
 func probeHandler(check func() error) http.HandlerFunc {
 	return func(w http.ResponseWriter, _ *http.Request) {
+		var warn error
 		if check != nil {
 			if err := check(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
+				if !IsWarning(err) {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
+				warn = err
 			}
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+		if warn != nil {
+			fmt.Fprintf(w, "warning: %s\n", warn.Error())
+		}
 	}
 }
 

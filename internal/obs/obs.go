@@ -131,6 +131,18 @@ type Histogram struct {
 	sum    Gauge // float64 sum via the gauge's CAS add
 }
 
+// NewHistogram builds a standalone histogram that is not attached to any
+// registry. A nil buckets slice selects LatencyBuckets. Use this for
+// local aggregation whose key space is too wide for Prometheus labels
+// (per-application calibration buckets, say) while reusing the same
+// lock-free observation path and quantile math.
+func NewHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	return &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
@@ -159,6 +171,60 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.sum.Value()
+}
+
+// Buckets snapshots the histogram: the sorted upper bounds and the
+// per-bucket (non-cumulative) counts. counts has one extra trailing entry
+// for the implicit +Inf overflow bucket, so len(counts) == len(bounds)+1.
+// A nil histogram returns (nil, nil).
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed samples
+// by linear interpolation inside the bucket holding the target rank.
+// Samples in the +Inf overflow bucket clamp to the last finite bound. An
+// empty (or nil) histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	_, counts := h.Buckets()
+	total := uint64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) { // overflow bucket: clamp
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		within := (rank - float64(cum-c)) / float64(c)
+		return lo + (h.bounds[i]-lo)*within
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // LatencyBuckets is the default histogram bucket set: a 1-2-5 log series

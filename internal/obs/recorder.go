@@ -23,8 +23,9 @@ import (
 type Decision struct {
 	Time    time.Time `json:"time"`
 	TraceID string    `json:"trace,omitempty"`
-	// Kind is the decision class: "schedule", "evaluate", "explain", or
-	// "compare".
+	// Kind is the decision class: "schedule", "evaluate", "explain",
+	// "compare", or "outcome" (a measured runtime joined back to a served
+	// prediction).
 	Kind string `json:"kind"`
 	App  string `json:"app"`
 	// Algorithm and Seed describe schedule decisions ("cs", "ncs", ...).
@@ -52,6 +53,12 @@ type Decision struct {
 	// Search statistics (schedule decisions).
 	Evaluations     int   `json:"evaluations,omitempty"`
 	SchedulerMicros int64 `json:"scheduler_micros,omitempty"`
+	// PredictionID keys the decision into the accuracy ledger: the served
+	// prediction this record describes, or — for kind "outcome" — the
+	// prediction the reported runtime was joined against.
+	PredictionID string `json:"prediction_id,omitempty"`
+	// Actual is the measured runtime of an "outcome" record (seconds).
+	Actual float64 `json:"actual_seconds,omitempty"`
 	// Err records failed decisions — forensics wants the denials too.
 	Err string `json:"error,omitempty"`
 }

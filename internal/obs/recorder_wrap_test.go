@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRecorderWraparound pins the ring's overwrite behaviour: a serial pass
+// checks the exact surviving window, and a concurrent pass (run under -race)
+// checks that wraparound under contention never tears a record or loses
+// ring invariants.
+func TestRecorderWraparound(t *testing.T) {
+	t.Run("serial", func(t *testing.T) {
+		const cap, writes = 64, 100
+		r := NewRecorder(cap)
+		for i := 0; i < writes; i++ {
+			r.Record(Decision{Kind: "evaluate", App: "app", Epoch: uint64(i)})
+		}
+		if r.Total() != writes {
+			t.Fatalf("Total = %d, want %d", r.Total(), writes)
+		}
+		got := r.Decisions(DecisionQuery{})
+		if len(got) != cap {
+			t.Fatalf("resident = %d, want %d", len(got), cap)
+		}
+		// Newest-first: epochs 99, 98, ..., 36. Everything older was
+		// overwritten.
+		for i, d := range got {
+			if want := uint64(writes - 1 - i); d.Epoch != want {
+				t.Fatalf("got[%d].Epoch = %d, want %d", i, d.Epoch, want)
+			}
+		}
+	})
+
+	t.Run("concurrent", func(t *testing.T) {
+		const cap, writers, perWriter = 64, 8, 100
+		r := NewRecorder(cap)
+		var wg sync.WaitGroup
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				app := fmt.Sprintf("g%d", g)
+				for i := 0; i < perWriter; i++ {
+					// App and TraceID both encode (writer, seq): a torn
+					// record under contention would disagree with its Epoch.
+					r.Record(Decision{
+						Kind:    "evaluate",
+						App:     app,
+						TraceID: fmt.Sprintf("%s-%d", app, i),
+						Epoch:   uint64(i),
+					})
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		if r.Total() != writers*perWriter {
+			t.Fatalf("Total = %d, want %d", r.Total(), writers*perWriter)
+		}
+		got := r.Decisions(DecisionQuery{})
+		if len(got) != cap {
+			t.Fatalf("resident = %d, want %d", len(got), cap)
+		}
+		// Every surviving record must be internally consistent, and each
+		// writer's survivors must be a suffix of its own sequence (the ring
+		// overwrites oldest-first and each writer records in order).
+		minSeq := map[string]uint64{}
+		count := map[string]int{}
+		seen := map[string]bool{}
+		for _, d := range got {
+			want := fmt.Sprintf("%s-%d", d.App, d.Epoch)
+			if d.TraceID != want {
+				t.Fatalf("torn record: App=%s Epoch=%d TraceID=%s", d.App, d.Epoch, d.TraceID)
+			}
+			if seen[d.TraceID] {
+				t.Fatalf("record %s survived twice", d.TraceID)
+			}
+			seen[d.TraceID] = true
+			count[d.App]++
+			if cur, ok := minSeq[d.App]; !ok || d.Epoch < cur {
+				minSeq[d.App] = d.Epoch
+			}
+		}
+		for app, n := range count {
+			if lo := minSeq[app]; lo != uint64(perWriter-n) {
+				t.Errorf("writer %s: %d survivors but oldest seq %d, want %d (suffix)",
+					app, n, lo, perWriter-n)
+			}
+		}
+	})
+}

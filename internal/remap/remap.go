@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"cbes/internal/accuracy"
 	"cbes/internal/core"
 	"cbes/internal/monitor"
 	"cbes/internal/schedule"
@@ -162,9 +163,12 @@ func Execute(app SegmentRunner, initial core.Mapping, adv *Advisor, checkpoints 
 			continue
 		}
 		remapped := false
+		segPredicted := 0.0
+		var segSnap *monitor.Snapshot
 		if s > 0 {
 			remaining := float64(total-from) / float64(total)
-			advice, err := adv.Evaluate(mapping, remaining, snapFn(), seed+int64(s))
+			segSnap = snapFn()
+			advice, err := adv.Evaluate(mapping, remaining, segSnap, seed+int64(s))
 			if err != nil {
 				return nil, err
 			}
@@ -174,9 +178,27 @@ func Execute(app SegmentRunner, initial core.Mapping, adv *Advisor, checkpoints 
 				logRec.TotalTime += adv.MigrationCost
 				remapped = true
 			}
+			// The advisor predicted the whole remaining run; this segment is
+			// (to-from) of the (total-from) iterations left.
+			chosen := advice.Current
+			if remapped {
+				chosen = advice.Alternative
+			}
+			segPredicted = chosen * float64(to-from) / float64(total-from)
 		}
 		secs := app.RunSegment(mapping, from, to)
 		logRec.TotalTime += secs
+		// Close the loop on the advisor's per-segment estimate so remapping
+		// decisions show up in the accuracy ledger.
+		if segPredicted > 0 && !math.IsInf(segPredicted, 1) {
+			accuracy.Default().ReportPair(accuracy.Prediction{
+				App:       adv.Eval.Prof.App,
+				Scheduler: "remap",
+				AgeBucket: accuracy.AgeBucket(segSnap.MaxAge(mapping)),
+				Epoch:     segSnap.Epoch,
+				Predicted: segPredicted,
+			}, secs)
+		}
 		logRec.Segments = append(logRec.Segments, SegmentRecord{
 			From: from, To: to, Mapping: mapping.Clone(), Seconds: secs, Remapped: remapped,
 		})

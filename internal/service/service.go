@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"cbes"
+	"cbes/internal/accuracy"
 	"cbes/internal/core"
 	"cbes/internal/des"
 	"cbes/internal/obs"
@@ -220,6 +221,17 @@ type EvaluateReply struct {
 	Degraded bool
 	// StaleNodes lists the mapped nodes that triggered the fallback.
 	StaleNodes []int
+	// PredictionID keys this prediction in the accuracy ledger; reporting
+	// the measured runtime back via ReportOutcome joins the pair and feeds
+	// the calibration statistics (DESIGN.md §12).
+	PredictionID string
+	// ErrBand* annotate the prediction with the empirical signed
+	// relative-error band (percent, roughly p10..p90) of its calibration
+	// bucket — (app, scheduler, degraded, snapshot-age) — measured from
+	// previously joined outcomes. ErrBandSamples == 0 means no band yet.
+	ErrBandLowPct  float64
+	ErrBandHighPct float64
+	ErrBandSamples int
 }
 
 // ExplainArgs asks for a human-readable prediction breakdown.
@@ -254,6 +266,14 @@ type CompareReply struct {
 	Degraded []bool
 	// StaleNodes[i] lists mapping i's stale nodes (nil when none).
 	StaleNodes [][]int
+	// PredictionIDs[i] is mapping i's accuracy-ledger key, aligned with
+	// Seconds — report whichever candidate actually ran.
+	PredictionIDs []string
+	// ErrBand* describe the winning candidate's calibration bucket (see
+	// EvaluateReply).
+	ErrBandLowPct  float64
+	ErrBandHighPct float64
+	ErrBandSamples int
 }
 
 // ScheduleArgs asks the service to find a mapping.
@@ -285,6 +305,13 @@ type ScheduleReply struct {
 	// may want a second opinion once monitoring recovers.
 	Degraded   bool
 	StaleNodes []int
+	// PredictionID and the ErrBand* fields mirror EvaluateReply: the
+	// ledger key to report the measured runtime against, and the bucket's
+	// empirical signed-error band.
+	PredictionID   string
+	ErrBandLowPct  float64
+	ErrBandHighPct float64
+	ErrBandSamples int
 }
 
 // DecisionsArgs queries the decision flight recorder (DESIGN.md §11).
@@ -304,6 +331,47 @@ type DecisionsArgs struct {
 type DecisionsReply struct {
 	Decisions []obs.Decision
 	Total     uint64
+}
+
+// ReportOutcomeArgs joins a measured runtime back to a served prediction
+// by its PredictionID, closing the predicted-vs-actual feedback loop
+// (DESIGN.md §12). The join is one-shot: a second report for the same ID
+// fails.
+type ReportOutcomeArgs struct {
+	TraceMeta
+	PredictionID  string
+	ActualSeconds float64
+}
+
+// ReportOutcomeReply echoes the joined pair and the resulting error.
+type ReportOutcomeReply struct {
+	App          string
+	Scheduler    string
+	Predicted    float64
+	Actual       float64
+	SignedErrPct float64 // (predicted−actual)/actual×100; positive = over-prediction
+	AbsErrPct    float64
+	// CalibrationOK is the drift detector's verdict after folding this
+	// outcome in.
+	CalibrationOK bool
+}
+
+// AccuracyArgs queries the accuracy ledger. Empty filters match every
+// calibration bucket; Samples bounds the joined-pair list (<= 0 returns
+// all resident pairs).
+type AccuracyArgs struct {
+	TraceMeta
+	App       string
+	Scheduler string
+	Samples   int
+}
+
+// AccuracyReply carries the ledger status, the per-bucket calibration
+// statistics, and recent joined predicted-vs-actual pairs.
+type AccuracyReply struct {
+	Status  accuracy.Status
+	Buckets []accuracy.BucketStats
+	Samples []accuracy.Sample
 }
 
 // Metrics formats accepted by the Metrics RPC.
@@ -382,6 +450,9 @@ type Server struct {
 	singleLock bool
 	// rec is the decision flight recorder (DESIGN.md §11).
 	rec *obs.Recorder
+	// led is the prediction-accuracy ledger every served prediction
+	// registers with (DESIGN.md §12).
+	led *accuracy.Ledger
 }
 
 // NewServer wraps a System with the default request timeout and cache
@@ -395,6 +466,7 @@ func NewServer(sys *cbes.System) *Server {
 		timeout: DefaultRequestTimeout,
 		cache:   newPredCache(DefaultCacheSize),
 		rec:     obs.DefaultRecorder(),
+		led:     accuracy.Default(),
 	}
 	s.refreshView()
 	return s
@@ -442,6 +514,35 @@ func fillDegraded(pred *core.Prediction, degraded *bool, stale *[]int) {
 	}
 }
 
+// beginPrediction registers one served prediction with the accuracy
+// ledger and returns its ID plus its calibration-bucket key (for the
+// reply's error-band annotation). Invalid predictions (non-positive
+// seconds) are not registered. Cheap enough for the hot path: one short
+// ledger mutex section, comparable to a prediction-cache probe.
+func (s *Server) beginPrediction(ctx context.Context, v *view, app, scheduler string, mapping []int, predicted float64, degraded bool) (string, accuracy.Key) {
+	k := accuracy.Key{
+		App:       app,
+		Scheduler: scheduler,
+		Degraded:  degraded,
+		AgeBucket: accuracy.AgeBucket(v.snap.MaxAge(mapping)),
+	}
+	if !(predicted > 0) {
+		return "", k
+	}
+	id := s.led.Begin(accuracy.Prediction{
+		App: app, Scheduler: scheduler, Degraded: degraded,
+		AgeBucket: k.AgeBucket, Epoch: v.epoch, Predicted: predicted,
+		TraceID: obs.FormatID(obs.TraceIDFromContext(ctx)),
+	})
+	obs.SpanFromContext(ctx).Attr("prediction_id", id)
+	return id, k
+}
+
+// fillBand copies a calibration band onto reply fields.
+func fillBand(b accuracy.Band, lo, hi *float64, n *int) {
+	*lo, *hi, *n = b.LowPct, b.HighPct, b.Samples
+}
+
 // Evaluate predicts the execution time of one mapping. Lock-free: served
 // from the published view through the prediction cache.
 func (s *Server) Evaluate(args *EvaluateArgs, reply *EvaluateReply) error {
@@ -470,8 +571,12 @@ func (s *Server) Evaluate(args *EvaluateArgs, reply *EvaluateReply) error {
 			reply.Critical = pred.Segments[0].Critical
 		}
 		fillDegraded(pred, &reply.Degraded, &reply.StaleNodes)
+		id, k := s.beginPrediction(ctx, v, args.App, "", args.Mapping, pred.Seconds, pred.Degraded)
+		reply.PredictionID = id
+		fillBand(s.led.BandFor(k), &reply.ErrBandLowPct, &reply.ErrBandHighPct, &reply.ErrBandSamples)
 		d.Mapping = args.Mapping
 		d.Predicted = pred.Seconds
+		d.PredictionID = id
 		d.Degraded, d.StaleNodes = reply.Degraded, reply.StaleNodes
 		return nil
 	})
@@ -539,6 +644,8 @@ func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
 		reply.Seconds = make([]float64, len(args.Mappings))
 		reply.Degraded = make([]bool, len(args.Mappings))
 		reply.StaleNodes = make([][]int, len(args.Mappings))
+		reply.PredictionIDs = make([]string, len(args.Mappings))
+		keys := make([]accuracy.Key, len(args.Mappings))
 		// NaN-aware best selection, mirroring core.Evaluator.Compare: a NaN
 		// prediction (corrupt profile or model) must never win by making
 		// every comparison false.
@@ -554,6 +661,7 @@ func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
 			}
 			reply.Seconds[i] = pred.Seconds
 			fillDegraded(pred, &reply.Degraded[i], &reply.StaleNodes[i])
+			reply.PredictionIDs[i], keys[i] = s.beginPrediction(ctx, v, args.App, "", m, pred.Seconds, pred.Degraded)
 			if math.IsNaN(pred.Seconds) {
 				continue
 			}
@@ -566,8 +674,10 @@ func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
 		}
 		reply.TraceID = d.TraceID
 		reply.Best = best
+		fillBand(s.led.BandFor(keys[best]), &reply.ErrBandLowPct, &reply.ErrBandHighPct, &reply.ErrBandSamples)
 		d.Mapping = args.Mappings[best]
 		d.Predicted = reply.Seconds[best]
+		d.PredictionID = reply.PredictionIDs[best]
 		d.Degraded, d.StaleNodes = reply.Degraded[best], reply.StaleNodes[best]
 		return nil
 	})
@@ -601,12 +711,17 @@ func (s *Server) Schedule(args *ScheduleArgs, reply *ScheduleReply) error {
 		if joined {
 			// The follower's causal story is its own: its trace shows a
 			// coalesced join, and its decision record names the leader's
-			// trace — the one the shared search actually ran under.
+			// trace — the one the shared search actually ran under. The
+			// prediction ID is its own too: a ledger join is one-shot, and
+			// each follower may independently run (and report) the mapping.
 			leader := reply.TraceID
 			reply.TraceID = obs.FormatID(obs.TraceIDFromContext(ctx))
 			obs.SpanFromContext(ctx).
 				Attr("coalesced", true).
 				Attr("leader_trace", leader)
+			id, k := s.beginPrediction(ctx, v, args.App, args.Algorithm, reply.Mapping, reply.Predicted, reply.Degraded)
+			reply.PredictionID = id
+			fillBand(s.led.BandFor(k), &reply.ErrBandLowPct, &reply.ErrBandHighPct, &reply.ErrBandSamples)
 			s.rec.Record(obs.Decision{
 				TraceID: reply.TraceID, Kind: "schedule", App: args.App,
 				Algorithm: args.Algorithm, Seed: args.Seed, Epoch: v.epoch,
@@ -614,6 +729,7 @@ func (s *Server) Schedule(args *ScheduleArgs, reply *ScheduleReply) error {
 				Degraded: reply.Degraded, StaleNodes: reply.StaleNodes,
 				Mapping: reply.Mapping, Predicted: reply.Predicted,
 				Evaluations: reply.Evaluations, SchedulerMicros: reply.SchedulerMicros,
+				PredictionID: id,
 			})
 		}
 		return nil
@@ -668,10 +784,14 @@ func (s *Server) scheduleOn(ctx context.Context, v *view, args *ScheduleArgs, re
 			d.CacheHits = 1
 		}
 	}
+	id, k := s.beginPrediction(ctx, v, args.App, args.Algorithm, reply.Mapping, reply.Predicted, reply.Degraded)
+	reply.PredictionID = id
+	fillBand(s.led.BandFor(k), &reply.ErrBandLowPct, &reply.ErrBandHighPct, &reply.ErrBandSamples)
 	d.Mapping = reply.Mapping
 	d.Predicted = reply.Predicted
 	d.Evaluations = reply.Evaluations
 	d.SchedulerMicros = reply.SchedulerMicros
+	d.PredictionID = id
 	d.Degraded, d.StaleNodes = reply.Degraded, reply.StaleNodes
 	return nil
 }
@@ -719,6 +839,51 @@ func (s *Server) Decisions(args *DecisionsArgs, reply *DecisionsReply) error {
 			N: args.N, Kind: args.Kind, App: args.App, TraceID: args.TraceID,
 		})
 		reply.Total = s.rec.Total()
+		return nil
+	})
+}
+
+// ReportOutcome joins a measured runtime back to a served prediction,
+// folding the error into the calibration statistics (DESIGN.md §12).
+// Lock-free: the ledger has its own short-held mutex. The join is
+// recorded in the decision flight recorder as kind "outcome", so the
+// forensic trail covers both halves of the predicted-vs-actual pair.
+func (s *Server) ReportOutcome(args *ReportOutcomeArgs, reply *ReportOutcomeReply) error {
+	return s.interceptRead("ReportOutcome", args.TraceMeta, func(ctx context.Context) (err error) {
+		span, _ := obs.StartSpan(ctx, "accuracy.join")
+		defer func() { span.Error(err).End() }()
+		span.Attr("prediction_id", args.PredictionID)
+		d := obs.Decision{
+			TraceID:      obs.FormatID(obs.TraceIDFromContext(ctx)),
+			Kind:         "outcome",
+			PredictionID: args.PredictionID, Actual: args.ActualSeconds,
+		}
+		defer func() { s.record(&d, err) }()
+		sample, err := s.led.Report(args.PredictionID, args.ActualSeconds)
+		if err != nil {
+			return err
+		}
+		d.App = sample.App
+		d.Predicted = sample.Predicted
+		span.Attr("abs_err_pct", sample.AbsErrPct)
+		reply.App = sample.App
+		reply.Scheduler = sample.Scheduler
+		reply.Predicted = sample.Predicted
+		reply.Actual = sample.Actual
+		reply.SignedErrPct = sample.SignedErrPct
+		reply.AbsErrPct = sample.AbsErrPct
+		reply.CalibrationOK = s.led.CalibrationOK()
+		return nil
+	})
+}
+
+// Accuracy reports the ledger's calibration statistics: overall status
+// (counters + drift state), per-bucket stats, and recent joined pairs.
+func (s *Server) Accuracy(args *AccuracyArgs, reply *AccuracyReply) error {
+	return s.interceptRead("Accuracy", args.TraceMeta, func(_ context.Context) error {
+		reply.Status = s.led.Status()
+		reply.Buckets = s.led.Stats(accuracy.StatsQuery{App: args.App, Scheduler: args.Scheduler})
+		reply.Samples = s.led.Samples(args.Samples)
 		return nil
 	})
 }
@@ -1136,6 +1301,25 @@ func (c *Client) Advance(seconds float64) (*AdvanceReply, error) {
 func (c *Client) Decisions(n int, kind, app, traceID string) (*DecisionsReply, error) {
 	var reply DecisionsReply
 	err := c.call("Decisions", &DecisionsArgs{N: n, Kind: kind, App: app, TraceID: traceID}, &reply, true)
+	return &reply, err
+}
+
+// ReportOutcome joins a measured runtime (seconds) back to the served
+// prediction identified by predictionID. Never retried: the join is
+// one-shot on the server, so a resend after a lost reply would surface a
+// misleading unknown-ID error for a join that actually landed.
+func (c *Client) ReportOutcome(predictionID string, actualSeconds float64) (*ReportOutcomeReply, error) {
+	var reply ReportOutcomeReply
+	err := c.call("ReportOutcome", &ReportOutcomeArgs{PredictionID: predictionID, ActualSeconds: actualSeconds}, &reply, false)
+	return &reply, err
+}
+
+// Accuracy fetches the server's prediction-accuracy ledger: status,
+// per-bucket calibration stats (optionally filtered by app and
+// scheduler), and up to samples recent joined pairs (<= 0 for all).
+func (c *Client) Accuracy(app, scheduler string, samples int) (*AccuracyReply, error) {
+	var reply AccuracyReply
+	err := c.call("Accuracy", &AccuracyArgs{App: app, Scheduler: scheduler, Samples: samples}, &reply, true)
 	return &reply, err
 }
 

@@ -11,6 +11,12 @@
 # schedule → anneal-restart span tree, and the decision flight recorder
 # (cbesctl decisions + /debug/decisions) must hold the matching record.
 #
+# Also closes the predicted-vs-actual loop: the schedule reply's
+# prediction ID is joined with a synthetic measured runtime via `cbesctl
+# report`, `cbesctl accuracy` and /debug/accuracy (JSON + CSV) must show
+# the joined pair, and a run of deliberately biased outcomes must flip
+# the drift alarm (cbes_calibration_ok 0, /readyz warning, DRIFT verdict).
+#
 # Uses only the small `test` topology so the whole run takes seconds.
 set -eu
 
@@ -135,7 +141,67 @@ fetch "http://127.0.0.1:$DEBUG_PORT/debug/decisions?trace=$TRACE_ID" "$WORK/deci
 grep -q "\"$TRACE_ID\"" "$WORK/decisions.json" || fail "/debug/decisions has no record for trace $TRACE_ID"
 echo "obs-smoke: ok: /debug/decisions record"
 
+# --- accuracy ledger: schedule -> report outcome -> stats round trip ---
+PRED_ID=$(awk '$1 == "predid" { print $3 }' "$WORK/schedule.txt")
+[ -n "$PRED_ID" ] || fail "cbesctl schedule did not print a prediction ID"
+PREDICTED=$(awk '$1 == "predicted" { sub(/s$/, "", $3); print $3 }' "$WORK/schedule.txt")
+[ -n "$PREDICTED" ] || fail "cbesctl schedule did not print a predicted time"
+ACTUAL=$(awk -v p="$PREDICTED" 'BEGIN { printf "%.6f", p * 1.1 }')
+"$BIN/cbesctl" -addr "127.0.0.1:$PORT" report -id "$PRED_ID" -actual "$ACTUAL" \
+    > "$WORK/report.txt" 2>&1 || { cat "$WORK/report.txt" >> "$LOG"; fail "cbesctl report failed"; }
+grep -q "joined $PRED_ID" "$WORK/report.txt" || fail "report did not join prediction $PRED_ID"
+echo "obs-smoke: ok: outcome joined ($PRED_ID predicted ${PREDICTED}s actual ${ACTUAL}s)"
+
+"$BIN/cbesctl" -addr "127.0.0.1:$PORT" accuracy > "$WORK/accuracy.txt" 2>&1 \
+    || { cat "$WORK/accuracy.txt" >> "$LOG"; fail "cbesctl accuracy failed"; }
+JOINED=$(awk '$1 == "joined" { print $3 }' "$WORK/accuracy.txt")
+[ "${JOINED:-0}" -ge 1 ] || { cat "$WORK/accuracy.txt" >> "$LOG"; fail "accuracy ledger joined count is ${JOINED:-0}, want >= 1"; }
+grep -q "calibration : OK" "$WORK/accuracy.txt" || fail "accuracy not calibrated after one accurate outcome"
+echo "obs-smoke: ok: cbesctl accuracy ($JOINED joined)"
+
+fetch "http://127.0.0.1:$DEBUG_PORT/debug/accuracy" "$WORK/accuracy.json" \
+    || fail "/debug/accuracy fetch failed"
+grep -q "\"$PRED_ID\"" "$WORK/accuracy.json" || fail "/debug/accuracy has no sample for $PRED_ID"
+fetch "http://127.0.0.1:$DEBUG_PORT/debug/accuracy?format=csv" "$WORK/accuracy.csv" \
+    || fail "/debug/accuracy?format=csv fetch failed"
+head -1 "$WORK/accuracy.csv" | grep -q "prediction_id,app" || fail "accuracy CSV header malformed"
+grep -q "^$PRED_ID," "$WORK/accuracy.csv" || fail "accuracy CSV has no row for $PRED_ID"
+echo "obs-smoke: ok: /debug/accuracy json + csv"
+
+# The filtered metrics view must show the ledger counters (and only them).
+"$BIN/cbesctl" -addr "127.0.0.1:$PORT" metrics -prefix cbes_accuracy > "$WORK/accmetrics.txt" 2>&1 \
+    || fail "cbesctl metrics -prefix failed"
+grep -q "cbes_accuracy_joined_total" "$WORK/accmetrics.txt" || fail "filtered metrics missing cbes_accuracy_joined_total"
+if grep -q "cbes_rpc_requests_total" "$WORK/accmetrics.txt"; then
+    fail "metrics -prefix cbes_accuracy leaked other families"
+fi
+echo "obs-smoke: ok: cbesctl metrics -prefix"
+
+# --- drift alarm: a run of badly-biased outcomes must flip calibration ---
+i=0
+while [ "$i" -lt 20 ]; do
+    "$BIN/cbesctl" -addr "127.0.0.1:$PORT" evaluate -app lu.A.8 -mapping 0-7 \
+        > "$WORK/eval.txt" 2>&1 || { cat "$WORK/eval.txt" >> "$LOG"; fail "evaluate for drift loop failed"; }
+    EP=$(awk '$1 == "predicted" { sub(/s$/, "", $4); print $4 }' "$WORK/eval.txt")
+    EID=$(awk '$1 == "predid" { print $3 }' "$WORK/eval.txt")
+    [ -n "$EID" ] && [ -n "$EP" ] || { cat "$WORK/eval.txt" >> "$LOG"; fail "evaluate output missing predid/predicted"; }
+    EA=$(awk -v p="$EP" 'BEGIN { printf "%.6f", p * 1.8 }')
+    "$BIN/cbesctl" -addr "127.0.0.1:$PORT" report -id "$EID" -actual "$EA" >> "$LOG" 2>&1 \
+        || fail "drift-loop report failed"
+    i=$((i + 1))
+done
+"$BIN/cbesctl" -addr "127.0.0.1:$PORT" accuracy > "$WORK/accuracy2.txt" 2>&1 \
+    || fail "cbesctl accuracy (post-drift) failed"
+grep -q "calibration : DRIFT" "$WORK/accuracy2.txt" \
+    || { cat "$WORK/accuracy2.txt" >> "$LOG"; fail "drift alarm did not flip after 20 biased outcomes"; }
+echo "obs-smoke: ok: drift alarm flipped (calibration DRIFT)"
+
+fetch "http://127.0.0.1:$DEBUG_PORT/readyz" "$WORK/readyz.txt" || fail "/readyz fetch failed while drifted"
+grep -q "warning" "$WORK/readyz.txt" || fail "/readyz carries no drift warning"
+echo "obs-smoke: ok: /readyz drift warning"
+
 fetch "http://127.0.0.1:$DEBUG_PORT/metrics" "$METRICS" || fail "/metrics scrape failed"
+grep -q '^cbes_calibration_ok 0' "$METRICS" || fail "cbes_calibration_ok gauge is not 0 while drifted"
 
 # require_nonzero SERIES_REGEX LABEL — assert a sample matching the regex
 # exists with a value other than 0.
@@ -157,6 +223,9 @@ require_nonzero 'cbes_schedule_requests_total\{alg="cs"\}' "scheduler request co
 require_nonzero 'cbes_trace_ring_spans' "tracer ring-occupancy gauge"
 require_nonzero 'cbes_decisions_recorded_total' "flight-recorder decision counter"
 require_nonzero 'cbes_decision_records' "flight-recorder occupancy gauge"
+require_nonzero 'cbes_accuracy_predictions_total' "accuracy prediction counter"
+require_nonzero 'cbes_accuracy_joined_total' "accuracy joined-outcome counter"
+require_nonzero 'cbes_accuracy_abs_err_ratio_bucket' "accuracy error histogram"
 
 # The RPC surface must match over cbesctl metrics as well.
 "$BIN/cbesctl" -addr "127.0.0.1:$PORT" metrics -format json > "$WORK/metrics.json" \
