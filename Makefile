@@ -40,11 +40,13 @@ bench-quick:
 	$(GO) test -short -run xxx -bench . -benchtime 1x -race -timeout 30m ./...
 
 # Re-run the suite and diff against the archived snapshot; fails if any
-# benchmark regressed more than 20% in ns/op or allocs/op.
+# benchmark regressed more than 20% in ns/op or allocs/op, or more than
+# 20% in bytes/op (the memory gate that keeps O(N²) state out of the
+# topology build and the scoring hot path).
 bench-compare:
 	$(GO) test -run xxx -bench . -benchmem ./... > BENCH_new.txt
 	$(GO) run ./cmd/benchjson -o BENCH_new.json < BENCH_new.txt
-	$(GO) run ./cmd/benchjson -diff BENCH_cbes.json BENCH_new.json
+	$(GO) run ./cmd/benchjson -diff -threshold 20 -bytes-threshold 20 BENCH_cbes.json BENCH_new.json
 
 # Concurrent-load benchmark of the RPC service: sharded read path
 # (epoch-keyed prediction cache, lock-free reads) vs the single-lock

@@ -5,12 +5,15 @@
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem ./... | benchjson -o BENCH_cbes.json
-//	benchjson -diff old.json new.json [-threshold 20]
+//	benchjson -diff old.json new.json [-threshold 20] [-bytes-threshold 20]
 //
 // In -diff mode the tool compares two archived snapshots, prints the
-// per-benchmark ns/op and allocs/op deltas, and exits non-zero when any
-// benchmark regressed by more than -threshold percent — the regression gate
-// behind `make bench-compare`.
+// per-benchmark ns/op, B/op, and allocs/op deltas, and exits non-zero when
+// any benchmark regressed by more than -threshold percent — the regression
+// gate behind `make bench-compare`. Memory regressions (B/op) gate through
+// -bytes-threshold, which defaults to the time threshold; the separate knob
+// exists because bytes/op is deterministic while ns/op is noisy, so CI can
+// hold memory to a tighter bound.
 //
 // Lines that are not benchmark results (PASS, ok, compile noise) pass
 // through to stderr untouched, so the tool can sit at the end of a pipe
@@ -50,6 +53,7 @@ func main() {
 	out := flag.String("o", "BENCH_cbes.json", "output file; - writes to stdout")
 	diff := flag.Bool("diff", false, "compare two snapshot files: benchjson -diff old.json new.json")
 	threshold := flag.Float64("threshold", 20, "regression threshold in percent for -diff (ns/op and allocs/op)")
+	bytesThreshold := flag.Float64("bytes-threshold", -1, "regression threshold in percent for B/op in -diff (-1: use -threshold)")
 	flag.Parse()
 
 	if *diff {
@@ -64,7 +68,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		report, regressed := diffResults(oldR, newR, *threshold)
+		bt := *bytesThreshold
+		if bt < 0 {
+			bt = *threshold
+		}
+		report, regressed := diffResults(oldR, newR, *threshold, bt)
 		fmt.Print(report)
 		if regressed {
 			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% threshold\n", *threshold)
@@ -155,36 +163,39 @@ var gatedExtras = map[string]int{
 }
 
 // diffResults renders a per-benchmark comparison and reports whether any
-// benchmark's ns/op or allocs/op grew past thresholdPct — or a gated
-// custom metric (RPC throughput, p99 latency) moved the wrong way past
-// it. Benchmarks present on only one side are listed but never gate.
-func diffResults(oldR, newR []*Result, thresholdPct float64) (string, bool) {
+// benchmark's ns/op or allocs/op grew past thresholdPct, its B/op grew
+// past bytesThresholdPct — or a gated custom metric (RPC throughput, p99
+// latency) moved the wrong way past thresholdPct. Benchmarks present on
+// only one side are listed but never gate, and deltaPct's old-zero rule
+// keeps snapshots predating -benchmem bytes from tripping the memory gate.
+func diffResults(oldR, newR []*Result, thresholdPct, bytesThresholdPct float64) (string, bool) {
 	oldBy := make(map[string]*Result, len(oldR))
 	for _, r := range oldR {
 		oldBy[r.Name] = r
 	}
 	var sb strings.Builder
 	regressed := false
-	fmt.Fprintf(&sb, "%-40s %14s %14s %8s %12s %12s %8s\n",
-		"benchmark", "old ns/op", "new ns/op", "Δ%", "old allocs", "new allocs", "Δ%")
+	fmt.Fprintf(&sb, "%-40s %14s %14s %8s %12s %12s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ%", "old B/op", "new B/op", "Δ%", "old allocs", "new allocs", "Δ%")
 	seen := make(map[string]bool, len(newR))
 	for _, n := range newR {
 		seen[n.Name] = true
 		o, ok := oldBy[n.Name]
 		if !ok {
-			fmt.Fprintf(&sb, "%-40s %14s %14.0f %8s %12s %12.0f %8s  (new)\n",
-				n.Name, "-", n.NsPerOp, "-", "-", n.AllocsPerOp, "-")
+			fmt.Fprintf(&sb, "%-40s %14s %14.0f %8s %12s %12.0f %8s %12s %12.0f %8s  (new)\n",
+				n.Name, "-", n.NsPerOp, "-", "-", n.BytesPerOp, "-", "-", n.AllocsPerOp, "-")
 			continue
 		}
 		dNs := deltaPct(o.NsPerOp, n.NsPerOp)
+		dBy := deltaPct(o.BytesPerOp, n.BytesPerOp)
 		dAl := deltaPct(o.AllocsPerOp, n.AllocsPerOp)
 		mark := ""
-		if dNs > thresholdPct || dAl > thresholdPct {
+		if dNs > thresholdPct || dAl > thresholdPct || dBy > bytesThresholdPct {
 			mark = "  REGRESSION"
 			regressed = true
 		}
-		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %+7.1f%% %12.0f %12.0f %+7.1f%%%s\n",
-			n.Name, o.NsPerOp, n.NsPerOp, dNs, o.AllocsPerOp, n.AllocsPerOp, dAl, mark)
+		fmt.Fprintf(&sb, "%-40s %14.0f %14.0f %+7.1f%% %12.0f %12.0f %+7.1f%% %12.0f %12.0f %+7.1f%%%s\n",
+			n.Name, o.NsPerOp, n.NsPerOp, dNs, o.BytesPerOp, n.BytesPerOp, dBy, o.AllocsPerOp, n.AllocsPerOp, dAl, mark)
 		for _, key := range sortedKeys(n.Extra) {
 			dir, gated := gatedExtras[key]
 			oldV, hasOld := o.Extra[key]
@@ -203,8 +214,8 @@ func diffResults(oldR, newR []*Result, thresholdPct float64) (string, bool) {
 	}
 	for _, o := range oldR {
 		if !seen[o.Name] {
-			fmt.Fprintf(&sb, "%-40s %14.0f %14s %8s %12.0f %12s %8s  (removed)\n",
-				o.Name, o.NsPerOp, "-", "-", o.AllocsPerOp, "-", "-")
+			fmt.Fprintf(&sb, "%-40s %14.0f %14s %8s %12.0f %12s %8s %12.0f %12s %8s  (removed)\n",
+				o.Name, o.NsPerOp, "-", "-", o.BytesPerOp, "-", "-", o.AllocsPerOp, "-", "-")
 		}
 	}
 	return sb.String(), regressed

@@ -89,7 +89,7 @@ func TestDiffResults(t *testing.T) {
 			{Name: "BenchmarkB", NsPerOp: 1100, AllocsPerOp: 100}, // +10%, under threshold
 			{Name: "BenchmarkFresh", NsPerOp: 42},
 		}
-		report, regressed := diffResults(oldR, newR, 20)
+		report, regressed := diffResults(oldR, newR, 20, 20)
 		if regressed {
 			t.Fatalf("flagged regression on improvements:\n%s", report)
 		}
@@ -100,7 +100,7 @@ func TestDiffResults(t *testing.T) {
 
 	t.Run("ns regression fails", func(t *testing.T) {
 		newR := []*Result{{Name: "BenchmarkA", NsPerOp: 1500, AllocsPerOp: 100}}
-		report, regressed := diffResults(oldR, newR, 20)
+		report, regressed := diffResults(oldR, newR, 20, 20)
 		if !regressed {
 			t.Fatalf("missed a +50%% ns/op regression:\n%s", report)
 		}
@@ -111,15 +111,43 @@ func TestDiffResults(t *testing.T) {
 
 	t.Run("allocs regression fails", func(t *testing.T) {
 		newR := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 200}}
-		if _, regressed := diffResults(oldR, newR, 20); !regressed {
+		if _, regressed := diffResults(oldR, newR, 20, 20); !regressed {
 			t.Fatal("missed a +100% allocs/op regression")
+		}
+	})
+
+	t.Run("bytes regression fails", func(t *testing.T) {
+		oldB := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 1 << 20, AllocsPerOp: 100}}
+		newB := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 2 << 20, AllocsPerOp: 100}}
+		report, regressed := diffResults(oldB, newB, 20, 20)
+		if !regressed {
+			t.Fatalf("missed a +100%% B/op regression:\n%s", report)
+		}
+	})
+
+	t.Run("bytes threshold is independent", func(t *testing.T) {
+		oldB := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 1000}}
+		newB := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 1150}} // +15%
+		if _, regressed := diffResults(oldB, newB, 20, 20); regressed {
+			t.Fatal("+15% B/op tripped a 20% bytes gate")
+		}
+		if _, regressed := diffResults(oldB, newB, 20, 10); !regressed {
+			t.Fatal("+15% B/op passed a 10% bytes gate")
+		}
+	})
+
+	t.Run("bytes absent in old snapshot never gates", func(t *testing.T) {
+		oldB := []*Result{{Name: "BenchmarkA", NsPerOp: 1000}}
+		newB := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 1 << 30}}
+		if _, regressed := diffResults(oldB, newB, 20, 20); regressed {
+			t.Fatal("newly-instrumented B/op tripped the gate")
 		}
 	})
 
 	t.Run("zero old never gates", func(t *testing.T) {
 		oldZ := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 0}}
 		newZ := []*Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 9}}
-		if _, regressed := diffResults(oldZ, newZ, 20); regressed {
+		if _, regressed := diffResults(oldZ, newZ, 20, 20); regressed {
 			t.Fatal("zero-baseline allocs tripped the gate")
 		}
 	})
@@ -139,7 +167,7 @@ func TestDiffGatedExtras(t *testing.T) {
 			Name: "ServiceRPC/sharded", NsPerOp: 1000,
 			Extra: map[string]float64{"rps": 30000, "p99_ms": 2.0},
 		}}
-		report, regressed := diffResults(oldR, newR, 20)
+		report, regressed := diffResults(oldR, newR, 20, 20)
 		if !regressed {
 			t.Fatalf("missed a -40%% rps regression:\n%s", report)
 		}
@@ -153,7 +181,7 @@ func TestDiffGatedExtras(t *testing.T) {
 			Name: "ServiceRPC/sharded", NsPerOp: 1000,
 			Extra: map[string]float64{"rps": 90000, "p99_ms": 2.0},
 		}}
-		if report, regressed := diffResults(oldR, newR, 20); regressed {
+		if report, regressed := diffResults(oldR, newR, 20, 20); regressed {
 			t.Fatalf("flagged an rps improvement as regression:\n%s", report)
 		}
 	})
@@ -163,7 +191,7 @@ func TestDiffGatedExtras(t *testing.T) {
 			Name: "ServiceRPC/sharded", NsPerOp: 1000,
 			Extra: map[string]float64{"rps": 50000, "p99_ms": 3.0},
 		}}
-		if _, regressed := diffResults(oldR, newR, 20); !regressed {
+		if _, regressed := diffResults(oldR, newR, 20, 20); !regressed {
 			t.Fatal("missed a +50% p99_ms regression")
 		}
 	})
@@ -173,7 +201,7 @@ func TestDiffGatedExtras(t *testing.T) {
 			Name: "ServiceRPC/sharded", NsPerOp: 1000,
 			Extra: map[string]float64{"rps": 50000, "p99_ms": 2.0, "hit_rate_pct": 10},
 		}}
-		if _, regressed := diffResults(oldR, newR, 20); regressed {
+		if _, regressed := diffResults(oldR, newR, 20, 20); regressed {
 			t.Fatal("informational extra tripped the gate")
 		}
 	})

@@ -73,7 +73,7 @@ func run() error {
 	spanLog := flag.String("span-log", "", "append traced spans as JSONL to this file; empty disables")
 	traceSample := flag.Int("trace-sample", 1, "head-sample 1 trace in N (1 keeps all; errored or slow spans are kept regardless)")
 	traceSlow := flag.Duration("trace-slow", 0, "tail-keep cutoff: spans at least this slow always record (0 selects the 100ms default)")
-	clusterName := flag.String("cluster", "grove", "testbed: grove, centurion, or test (small 8-node topology)")
+	clusterName := flag.String("cluster", "grove", "topology spec: "+cluster.SpecHelp)
 	dbDir := flag.String("db", "./cbesdb", "CBES database directory (models/profiles cache)")
 	apps := flag.String("apps", "lu.B.8,aztec.8,hpl.5000.8", "comma-separated application models to profile")
 	maxClients := flag.Int("max-clients", 64, "maximum concurrently served RPC connections")
@@ -88,17 +88,24 @@ func run() error {
 	faultHorizon := flag.Duration("fault-horizon", 5*time.Minute, "simulated-time window the fault schedule spans")
 	flag.Parse()
 
-	var topo *cluster.Topology
-	switch *clusterName {
-	case "grove":
-		topo = cluster.NewOrangeGrove()
-	case "centurion":
-		topo = cluster.NewCenturion()
-	case "test":
-		topo = cluster.NewTestTopology()
-	default:
-		return fmt.Errorf("unknown cluster %q", *clusterName)
+	topo, err := cluster.FromSpec(*clusterName)
+	if err != nil {
+		return err
 	}
+
+	// Topology-shape gauges: exported before serving starts so operators
+	// can see at a glance how large the simulated fabric is and whether
+	// routes are table-backed (the 2005 testbeds) or computed algebraically
+	// (structured 1k/5k topologies). Visible via /debug/vars and /metrics.
+	reg := obs.Default()
+	reg.Gauge("cbes_topology_nodes", "Nodes in the simulated topology").Set(float64(topo.NumNodes()))
+	reg.Gauge("cbes_topology_switches", "Switches in the simulated topology").Set(float64(len(topo.Switches)))
+	reg.Gauge("cbes_topology_links", "Links in the simulated topology").Set(float64(len(topo.Links)))
+	routeTable := 0.0
+	if topo.RouteMemoryMode() == "table" {
+		routeTable = 1
+	}
+	reg.Gauge("cbes_topology_route_table", "1 if routes come from a stored table, 0 if computed algebraically").Set(routeTable)
 
 	store, err := db.Open(*dbDir)
 	if err != nil {

@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	experiments [-run all|phase1|fig5|phase3|fig6|table1|table2|fig7|table3|table4|headline|ablations|faulttol]
+//	experiments [-run all|phase1|fig5|phase3|fig6|table1|table2|fig7|table3|table4|headline|ablations|faulttol|toposcale]
 //	            [-scale 0.25] [-seed 42] [-jobs 0] [-v]
+//	            [-topo fattree:16,torus:16x16x4] [-topo-ranks 256]
 //
 // -scale 1.0 reproduces paper-sized case counts (slow); the default runs a
 // quarter-scale version whose shapes match. Independent trials fan out
 // across all cores by default; -jobs limits the worker count (-jobs 1 is
 // the serial reference order, which produces identical results).
+//
+// toposcale is not part of the paper reproduction and only runs when named
+// explicitly (never under -run all): it builds each -topo spec, reports
+// construction time, route-memory mode, and interned path-class count, and
+// drives a seeded halo workload to compare simulated vs wall-clock time.
 package main
 
 import (
@@ -30,6 +36,9 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max parallel trials (0 = all cores, 1 = serial)")
 	verbose := flag.Bool("v", false, "progress output")
 	csvDir := flag.String("csv", "", "also export results as CSV into this directory")
+	topoSpecs := flag.String("topo", "fattree:16,torus:16x16x4,dragonfly:4x8x4,fattree:28",
+		"comma-separated topology specs for -run toposcale")
+	topoRanks := flag.Int("topo-ranks", 256, "ranks for the toposcale workload")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, Jobs: *jobs, Verbose: *verbose}
@@ -110,6 +119,20 @@ func main() {
 			keep(r)
 			return r.Render()
 		}},
+	}
+
+	// toposcale characterizes the simulator, not the paper; it only runs
+	// when named explicitly, so -run all stays a pure paper reproduction.
+	if want["toposcale"] {
+		list = append(list, exp{"toposcale", func() string {
+			r, err := experiments.TopoScale(strings.Split(*topoSpecs, ","), *topoRanks, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "toposcale: %v\n", err)
+				os.Exit(1)
+			}
+			keep(r)
+			return r.Render()
+		}})
 	}
 
 	ran := 0

@@ -106,11 +106,44 @@ func MeasurePairLatency(topo *cluster.Topology, src, dst int, size int64, reps i
 }
 
 // classRepresentatives returns one ordered pair per path-signature class,
-// plus the pair count per class.
+// plus the pair count per class. When the topology interns its classes the
+// sweep resolves integer IDs instead of building N² signature strings;
+// representative choice is first encounter in row-major pair order either
+// way, so calibration picks identical pairs on the 2005 testbeds.
 func classRepresentatives(topo *cluster.Topology) (map[string]Pair, map[string]int) {
+	n := topo.NumNodes()
+	if nc := topo.NumClasses(); nc > 0 {
+		repID := make([]Pair, nc)
+		seen := make([]bool, nc)
+		cnt := make([]int, nc)
+		var order []int
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				id := topo.ClassID(i, j)
+				cnt[id]++
+				if !seen[id] {
+					seen[id] = true
+					repID[id] = Pair{i, j}
+					order = append(order, id)
+				}
+			}
+		}
+		rep := make(map[string]Pair, len(order))
+		count := make(map[string]int, len(order))
+		// Distinct class IDs can share one signature string in principle;
+		// first scan encounter wins the representative slot, matching the
+		// legacy row-major behavior.
+		for _, id := range order {
+			sig := topo.ClassSignature(id)
+			if _, ok := rep[sig]; !ok {
+				rep[sig] = repID[id]
+			}
+			count[sig] += cnt[id]
+		}
+		return rep, count
+	}
 	rep := map[string]Pair{}
 	count := map[string]int{}
-	n := topo.NumNodes()
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			sig := topo.PathSignature(i, j)

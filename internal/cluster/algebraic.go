@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Algebraic routing: structured topologies (fat tree, torus, dragonfly)
+// compute routes arithmetically from node coordinates instead of storing
+// an all-pairs table. A 5k-node fat tree holds O(N) link metadata and a
+// few hundred interned class signatures — no O(N²) state of any kind.
+//
+// Each router must honour the same contracts the table router does:
+//
+//   - appendPath yields an ordered, device-connected link walk from src's
+//     NIC to dst's NIC (empty for src == dst);
+//   - classID partitions ordered pairs so that all pairs in a class have
+//     byte-identical PathSignature strings (verified by the property
+//     tests in algebraic_test.go against the walk-based pathSignature);
+//   - IDs are dense in [0, numClasses), small enough to index arrays by.
+type algRouter interface {
+	// appendPath appends the route's link IDs to buf and returns it.
+	appendPath(buf []int, src, dst int) []int
+	// hops reports the route length without materializing it.
+	hops(src, dst int) int
+	// classID returns the interned path-class ID of the ordered pair.
+	classID(src, dst int) int
+}
+
+// sigWriter builds path-signature strings with the exact grammar of
+// Topology.pathSignature, so routers can intern per-class signatures
+// without materializing a representative route per class.
+type sigWriter struct {
+	sb strings.Builder
+}
+
+// start begins a signature at a node of architecture a.
+func (w *sigWriter) start(a Arch) { w.sb.WriteString(string(a)) }
+
+// hopSwitch records a link whose far end is a switch of the given class.
+func (w *sigWriter) hopSwitch(bandwidth float64, class string) {
+	fmt.Fprintf(&w.sb, "|%.0fMb", bandwidth*8/1e6)
+	w.sb.WriteString("|" + class)
+}
+
+// hopNode records a link whose far end is a node.
+func (w *sigWriter) hopNode(bandwidth float64) {
+	fmt.Fprintf(&w.sb, "|%.0fMb", bandwidth*8/1e6)
+}
+
+// end terminates the signature at a node of architecture a.
+func (w *sigWriter) end(a Arch) string {
+	w.sb.WriteString("|" + string(a))
+	return w.sb.String()
+}
+
+// loopSignature is the signature of the src == dst class.
+func loopSignature(a Arch) string { return "loop|" + string(a) }
+
+// archIndexer assigns each node a dense architecture index so routers can
+// compose class IDs as shape×archSrc×archDst without string work. The
+// assignment pattern cycles through the (possibly repeating, for mix
+// ratios) pattern list by node ID; the index space is the deduplicated
+// arch list in pattern order.
+type archIndexer struct {
+	pattern []Arch  // arch per node ID modulo len(pattern)
+	archs   []Arch  // deduplicated, in first-appearance order
+	idx     []uint8 // pattern position -> archs position
+}
+
+func newArchIndexer(pattern []Arch) *archIndexer {
+	if len(pattern) == 0 {
+		pattern = []Arch{ArchRef}
+	}
+	ai := &archIndexer{pattern: pattern, idx: make([]uint8, len(pattern))}
+	pos := map[Arch]uint8{}
+	for i, a := range pattern {
+		p, ok := pos[a]
+		if !ok {
+			p = uint8(len(ai.archs))
+			pos[a] = p
+			ai.archs = append(ai.archs, a)
+		}
+		ai.idx[i] = p
+	}
+	return ai
+}
+
+// arch returns the architecture assigned to node id.
+func (ai *archIndexer) arch(id int) Arch { return ai.pattern[id%len(ai.pattern)] }
+
+// index returns the dense architecture index of node id.
+func (ai *archIndexer) index(id int) int { return int(ai.idx[id%len(ai.idx)]) }
+
+// count reports the number of distinct architectures.
+func (ai *archIndexer) count() int { return len(ai.archs) }
+
+// pairClasses enumerates every ordered (archSrc, archDst) index pair of
+// one route shape; shape grids use it to keep class IDs dense and
+// arithmetic.
+func (ai *archIndexer) pairClasses(fill func(si, di int)) {
+	for si := 0; si < len(ai.archs); si++ {
+		for di := 0; di < len(ai.archs); di++ {
+			fill(si, di)
+		}
+	}
+}
+
+// shapeGrid composes class IDs for routers whose classes factor into
+// route shape × source arch × destination arch.
+type shapeGrid struct {
+	ai     *archIndexer
+	shapes int
+}
+
+// id composes the class ID for a shape and an ordered node pair.
+func (g *shapeGrid) id(shape, src, dst int) int {
+	a := g.ai.count()
+	return (shape*a+g.ai.index(src))*a + g.ai.index(dst)
+}
+
+// numClasses is the dense ID-space size.
+func (g *shapeGrid) numClasses() int { return g.shapes * g.ai.count() * g.ai.count() }
+
+// signatures builds the per-class signature table: sig(shape, si, di)
+// must append the interior of the signature (everything between the start
+// arch and the end arch) to w. Shape 0 is always the loopback class.
+func (g *shapeGrid) signatures(sig func(w *sigWriter, shape int)) []string {
+	a := g.ai.count()
+	sigs := make([]string, g.numClasses())
+	for shape := 0; shape < g.shapes; shape++ {
+		g.ai.pairClasses(func(si, di int) {
+			id := (shape*a+si)*a + di
+			if shape == 0 {
+				if si == di {
+					sigs[id] = loopSignature(g.ai.archs[si])
+				}
+				// Off-diagonal loop slots cover no pairs; leave them "".
+				return
+			}
+			var w sigWriter
+			w.start(g.ai.archs[si])
+			sig(&w, shape)
+			sigs[id] = w.end(g.ai.archs[di])
+		})
+	}
+	return sigs
+}
+
+// defaultArchTable returns the arch info map structured builders install
+// (the default table for every architecture in the pattern).
+func defaultArchTable(ai *archIndexer) map[Arch]ArchInfo {
+	m := map[Arch]ArchInfo{}
+	for _, a := range ai.archs {
+		m[a] = DefaultArchInfo(a)
+	}
+	return m
+}

@@ -83,13 +83,8 @@ func (b *Builder) Build() *Topology {
 		archs:    b.archs,
 	}
 	t.routes = computeRoutes(t)
-	t.sigs = make([][]string, len(t.Nodes))
-	for src := range t.Nodes {
-		t.sigs[src] = make([]string, len(t.Nodes))
-		for dst := range t.Nodes {
-			t.sigs[src][dst] = t.pathSignature(src, dst)
-		}
-	}
+	t.internTable()
+	t.buildIndexes()
 	return t
 }
 

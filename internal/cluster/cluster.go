@@ -14,7 +14,6 @@ package cluster
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"cbes/internal/des"
 )
@@ -117,20 +116,43 @@ const (
 	BandwidthGig1200 = 1200e6 / 8 // 3Com 1.2 Gb/s core switch uplink
 )
 
-// Topology is an immutable cluster description with precomputed
-// node-to-node routing.
+// Topology is an immutable cluster description with node-to-node routing.
+//
+// Routing comes in two flavours. Small irregular topologies (the 2005
+// testbeds, Builder-assembled test fabrics) carry a precomputed all-pairs
+// route table — O(N²·hops) memory, fine below a few hundred nodes. The
+// structured builders (NewFatTree, NewTorus, NewDragonfly) install an
+// algebraic router instead: paths are computed on demand from node
+// coordinates in O(hops), so a 5k-node fat tree stores no route table at
+// all.
+//
+// Either way, every ordered pair belongs to an interned path class: a
+// dense integer ID (ClassID) whose signature string (ClassSignature) is
+// the PathSignature the latency model is keyed by. Hot paths carry the
+// int; the string exists once per class, not once per pair.
 type Topology struct {
 	Name     string
 	Nodes    []Node
 	Switches []Switch
 	Links    []Link
 	archs    map[Arch]ArchInfo
-	// routes[src][dst] is the ordered list of link IDs a message traverses.
+	// routes[src][dst] is the ordered list of link IDs a message traverses
+	// (table-routed topologies only; nil when alg is set).
 	routes [][][]int
-	// sigs[src][dst] caches PathSignature for built topologies: the latency
-	// model looks signatures up once per simulated transfer, so recomputing
-	// the string each time dominated netmodel's allocation profile.
-	sigs [][]string
+	// alg computes routes and class IDs arithmetically from coordinates
+	// (structured topologies only; nil when routes is set).
+	alg algRouter
+	// classIDs maps src*N+dst to a path-class ID for table-routed
+	// topologies (int32: 4 bytes/pair instead of a route slice per pair).
+	classIDs []int32
+	// classSigs[id] is the signature string of path class id, for both
+	// routing modes.
+	classSigs []string
+	// Precomputed Build-time indexes (satellite of the 5k scaling work:
+	// scheduler pool filtering used to scan all nodes per call).
+	byArch   map[Arch][]int
+	bySwitch [][]int
+	edgeLink []int32 // node -> NIC link ID, -1 if none
 }
 
 // NumNodes reports the number of nodes.
@@ -156,12 +178,71 @@ func (t *Topology) NodeName(id int) string {
 	return t.Nodes[id].Name
 }
 
+// AlgebraicRoutes reports whether routes are computed on demand from
+// coordinates (structured topologies) instead of a stored table.
+func (t *Topology) AlgebraicRoutes() bool { return t.alg != nil }
+
+// RouteMemoryMode names the routing storage strategy: "table" for the
+// precomputed all-pairs table, "algebraic" for on-demand coordinate
+// routing (exported as a /debug/vars gauge by cbesd).
+func (t *Topology) RouteMemoryMode() string {
+	if t.alg != nil {
+		return "algebraic"
+	}
+	return "table"
+}
+
 // Path returns the ordered link IDs a message from src to dst traverses.
-// The path for src == dst is empty (loopback).
-func (t *Topology) Path(src, dst int) []int { return t.routes[src][dst] }
+// The path for src == dst is empty (loopback). On algebraic topologies
+// every call materializes a fresh slice; hot loops should use AppendPath
+// with a recycled buffer instead.
+func (t *Topology) Path(src, dst int) []int {
+	if t.alg != nil {
+		return t.alg.appendPath(nil, src, dst)
+	}
+	return t.routes[src][dst]
+}
+
+// AppendPath appends the route's link IDs to buf and returns the extended
+// slice — the allocation-free form of Path for algebraic topologies.
+func (t *Topology) AppendPath(buf []int, src, dst int) []int {
+	if t.alg != nil {
+		return t.alg.appendPath(buf, src, dst)
+	}
+	return append(buf, t.routes[src][dst]...)
+}
 
 // Hops reports the number of links between two nodes.
-func (t *Topology) Hops(src, dst int) int { return len(t.routes[src][dst]) }
+func (t *Topology) Hops(src, dst int) int {
+	if t.alg != nil {
+		return t.alg.hops(src, dst)
+	}
+	return len(t.routes[src][dst])
+}
+
+// NumClasses reports how many interned path classes the topology has.
+// Valid class IDs are 0..NumClasses()-1; some may cover zero pairs on
+// algebraic topologies (the ID space is a dense shape×arch² grid).
+func (t *Topology) NumClasses() int { return len(t.classSigs) }
+
+// ClassID returns the interned path-class ID of the ordered pair. All
+// pairs with the same ID share one PathSignature and hence one latency
+// class — this integer is what the netmodel/simnet hot paths key on
+// instead of building signature strings.
+func (t *Topology) ClassID(src, dst int) int {
+	if t.classIDs != nil {
+		return int(t.classIDs[src*len(t.Nodes)+dst])
+	}
+	return t.alg.classID(src, dst)
+}
+
+// ClassIDTable exposes the flat src*N+dst → class-ID table of a
+// table-routed topology (nil on algebraic topologies). Read-only: hot
+// loops may index it directly to skip the ClassID call.
+func (t *Topology) ClassIDTable() []int32 { return t.classIDs }
+
+// ClassSignature returns the signature string of an interned path class.
+func (t *Topology) ClassSignature(id int) string { return t.classSigs[id] }
 
 // PathSignature returns a string that classifies the route between two
 // nodes by the architectures at its ends and the classes of the devices it
@@ -169,40 +250,44 @@ func (t *Topology) Hops(src, dst int) int { return len(t.routes[src][dst]) }
 // same no-load latency curve; this is the basis of the paper's O(N)
 // resource-availability approximation.
 func (t *Topology) PathSignature(src, dst int) string {
-	if t.sigs != nil {
-		return t.sigs[src][dst]
+	if t.classSigs != nil {
+		return t.classSigs[t.ClassID(src, dst)]
 	}
 	return t.pathSignature(src, dst)
 }
 
-// pathSignature computes the signature from the route; Build caches the
-// result for every pair, the fallback above serves hand-literal topologies.
+// pathSignature computes the signature by walking the route; Build interns
+// the result per class, the fallback above serves hand-literal topologies.
 func (t *Topology) pathSignature(src, dst int) string {
 	if src == dst {
 		return "loop|" + string(t.Nodes[src].Arch)
 	}
-	var sb strings.Builder
-	sb.WriteString(string(t.Nodes[src].Arch))
+	var w sigWriter
+	w.start(t.Nodes[src].Arch)
 	at := Device{DevNode, src}
-	for _, lid := range t.routes[src][dst] {
+	for _, lid := range t.Path(src, dst) {
 		l := t.Links[lid]
 		far := l.B
 		if far == at {
 			far = l.A
 		}
-		fmt.Fprintf(&sb, "|%.0fMb", l.Bandwidth*8/1e6)
 		if far.Kind == DevSwitch {
-			sb.WriteString("|" + t.Switches[far.Index].Class)
+			w.hopSwitch(l.Bandwidth, t.Switches[far.Index].Class)
+		} else {
+			w.hopNode(l.Bandwidth)
 		}
 		at = far
 	}
-	sb.WriteString("|" + string(t.Nodes[dst].Arch))
-	return sb.String()
+	return w.end(t.Nodes[dst].Arch)
 }
 
 // NodesByArch returns the IDs of all nodes of the given architecture, in
-// increasing ID order.
+// increasing ID order. Built topologies serve a precomputed index; the
+// returned slice is a copy the caller may mutate.
 func (t *Topology) NodesByArch(a Arch) []int {
+	if t.byArch != nil {
+		return append([]int(nil), t.byArch[a]...)
+	}
 	var ids []int
 	for _, n := range t.Nodes {
 		if n.Arch == a {
@@ -213,8 +298,15 @@ func (t *Topology) NodesByArch(a Arch) []int {
 }
 
 // NodesOnSwitch returns the IDs of all nodes attached to the given edge
-// switch, in increasing ID order.
+// switch, in increasing ID order. Built topologies serve a precomputed
+// index; the returned slice is a copy the caller may mutate.
 func (t *Topology) NodesOnSwitch(sw int) []int {
+	if t.bySwitch != nil {
+		if sw < 0 || sw >= len(t.bySwitch) {
+			return nil
+		}
+		return append([]int(nil), t.bySwitch[sw]...)
+	}
 	var ids []int
 	for _, n := range t.Nodes {
 		if n.Switch == sw {
@@ -222,6 +314,21 @@ func (t *Topology) NodesOnSwitch(sw int) []int {
 		}
 	}
 	return ids
+}
+
+// EdgeLink returns the ID of the link connecting node id to its edge
+// switch (its NIC cable), or -1 if the node has no link.
+func (t *Topology) EdgeLink(node int) int {
+	if t.edgeLink != nil {
+		return int(t.edgeLink[node])
+	}
+	dev := Device{DevNode, node}
+	for _, l := range t.Links {
+		if l.A == dev || l.B == dev {
+			return l.ID
+		}
+	}
+	return -1
 }
 
 // Archs returns the distinct architectures present, sorted by name.
@@ -239,7 +346,10 @@ func (t *Topology) Archs() []Arch {
 }
 
 // Validate checks structural invariants: every node attached to an existing
-// switch and reachable from every other node.
+// switch and reachable from every other node. Table-routed topologies
+// check the full O(N²) route table; algebraic topologies — where the
+// construction guarantees connectivity — spot-check a bounded sample of
+// pairs for route well-formedness so Validate stays O(N) at 5k nodes.
 func (t *Topology) Validate() error {
 	for _, n := range t.Nodes {
 		if n.Switch < 0 || n.Switch >= len(t.Switches) {
@@ -249,6 +359,9 @@ func (t *Topology) Validate() error {
 			return fmt.Errorf("cluster: node %d has invalid CPUs/Speed", n.ID)
 		}
 	}
+	if t.alg != nil {
+		return t.validateAlgebraic()
+	}
 	for i := range t.Nodes {
 		for j := range t.Nodes {
 			if i != j && t.routes[i][j] == nil {
@@ -257,4 +370,97 @@ func (t *Topology) Validate() error {
 		}
 	}
 	return nil
+}
+
+// validateAlgebraic spot-checks algebraic routes: for a bounded sample of
+// ordered pairs the path must start at src's NIC, end at dst's NIC, and
+// chain device-connected links.
+func (t *Topology) validateAlgebraic() error {
+	n := len(t.Nodes)
+	stride := n/64 + 1
+	var buf []int
+	for i := 0; i < n; i += stride {
+		for j := n - 1; j >= 0; j -= stride {
+			if i == j {
+				continue
+			}
+			buf = t.alg.appendPath(buf[:0], i, j)
+			if err := t.checkPath(buf, i, j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkPath verifies that links form a connected walk from node src to
+// node dst.
+func (t *Topology) checkPath(path []int, src, dst int) error {
+	at := Device{DevNode, src}
+	for _, lid := range path {
+		if lid < 0 || lid >= len(t.Links) {
+			return fmt.Errorf("cluster: route %d->%d references missing link %d", src, dst, lid)
+		}
+		l := &t.Links[lid]
+		switch at {
+		case l.A:
+			at = l.B
+		case l.B:
+			at = l.A
+		default:
+			return fmt.Errorf("cluster: route %d->%d broken at link %d (%s): not incident to %s", src, dst, lid, l.Name, at)
+		}
+	}
+	if want := (Device{DevNode, dst}); at != want {
+		return fmt.Errorf("cluster: route %d->%d ends at %s, not %s", src, dst, at, want)
+	}
+	return nil
+}
+
+// internTable assigns a dense path-class ID to every ordered pair of a
+// table-routed topology, interning signature strings in first-encounter
+// row-major order (the order bench.Calibrate picks class representatives
+// in, so calibration output is unchanged by the interning).
+func (t *Topology) internTable() {
+	n := len(t.Nodes)
+	t.classIDs = make([]int32, n*n)
+	bySig := map[string]int32{}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			sig := t.pathSignature(src, dst)
+			id, ok := bySig[sig]
+			if !ok {
+				id = int32(len(t.classSigs))
+				bySig[sig] = id
+				t.classSigs = append(t.classSigs, sig)
+			}
+			t.classIDs[src*n+dst] = id
+		}
+	}
+}
+
+// buildIndexes precomputes the Build-time lookup indexes shared by both
+// routing modes: nodes per architecture, nodes per edge switch, and each
+// node's NIC link.
+func (t *Topology) buildIndexes() {
+	t.byArch = map[Arch][]int{}
+	t.bySwitch = make([][]int, len(t.Switches))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		t.byArch[n.Arch] = append(t.byArch[n.Arch], n.ID)
+		if n.Switch >= 0 && n.Switch < len(t.bySwitch) {
+			t.bySwitch[n.Switch] = append(t.bySwitch[n.Switch], n.ID)
+		}
+	}
+	t.edgeLink = make([]int32, len(t.Nodes))
+	for i := range t.edgeLink {
+		t.edgeLink[i] = -1
+	}
+	for _, l := range t.Links {
+		for _, d := range [2]Device{l.A, l.B} {
+			if d.Kind == DevNode && t.edgeLink[d.Index] < 0 {
+				t.edgeLink[d.Index] = int32(l.ID)
+			}
+		}
+	}
 }

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SpecHelp documents the topology spec grammar accepted by FromSpec, for
+// command-line flag usage strings.
+const SpecHelp = "grove|centurion|test, or fattree:<k>, torus:<X>x<Y>[x<Z>], " +
+	"dragonfly:<P>x<A>x<H>[x<G>]; append @arch[,arch...] (alpha|intel|sparc|ref) " +
+	"for a round-robin architecture mix, e.g. fattree:16@alpha,intel"
+
+// FromSpec builds a topology from a command-line spec string: either a
+// named 2005 testbed (table-routed, bit-identical to the paper
+// reproduction) or a structured algebraic topology sized by parameters.
+func FromSpec(spec string) (*Topology, error) {
+	name, archPart, hasArchs := strings.Cut(spec, "@")
+	var archs []Arch
+	if hasArchs {
+		var err error
+		if archs, err = parseArchList(archPart); err != nil {
+			return nil, err
+		}
+	}
+	kind, args, _ := strings.Cut(name, ":")
+	switch kind {
+	case "grove", "orangegrove", "orange-grove":
+		return NewOrangeGrove(), nil
+	case "centurion":
+		return NewCenturion(), nil
+	case "test":
+		return NewTestTopology(), nil
+	case "fattree":
+		k, err := strconv.Atoi(args)
+		if err != nil || k < 2 || k%2 != 0 {
+			return nil, fmt.Errorf("cluster: fattree spec needs an even radix, e.g. fattree:16 (got %q)", spec)
+		}
+		return NewFatTree(FatTreeSpec{K: k, Archs: archs}), nil
+	case "torus":
+		dims, err := parseDims(args, 2, 3)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: torus spec needs XxY or XxYxZ, e.g. torus:16x16x4 (got %q)", spec)
+		}
+		ts := TorusSpec{X: dims[0], Y: dims[1], Archs: archs}
+		if len(dims) == 3 {
+			ts.Z = dims[2]
+		}
+		return NewTorus(ts), nil
+	case "dragonfly":
+		dims, err := parseDims(args, 3, 4)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: dragonfly spec needs PxAxH or PxAxHxG, e.g. dragonfly:4x8x4 (got %q)", spec)
+		}
+		ds := DragonflySpec{P: dims[0], A: dims[1], H: dims[2], Archs: archs}
+		if len(dims) == 4 {
+			ds.Groups = dims[3]
+		}
+		if ds.Groups != 0 && (ds.Groups < 2 || ds.Groups > ds.A*ds.H+1) {
+			return nil, fmt.Errorf("cluster: dragonfly groups must be in [2, A*H+1], got %d", ds.Groups)
+		}
+		return NewDragonfly(ds), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown topology spec %q (want %s)", spec, SpecHelp)
+	}
+}
+
+// parseDims parses "AxBxC"-style dimension lists with an arity range.
+func parseDims(s string, min, max int) ([]int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) < min || len(parts) > max {
+		return nil, fmt.Errorf("cluster: want %d-%d dimensions, got %d", min, max, len(parts))
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("cluster: bad dimension %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+// parseArchList parses the @-suffix architecture pattern.
+func parseArchList(s string) ([]Arch, error) {
+	var archs []Arch
+	for _, p := range strings.Split(s, ",") {
+		switch strings.TrimSpace(p) {
+		case "alpha":
+			archs = append(archs, ArchAlpha)
+		case "intel":
+			archs = append(archs, ArchIntel)
+		case "sparc":
+			archs = append(archs, ArchSPARC)
+		case "ref", "refnode":
+			archs = append(archs, ArchRef)
+		default:
+			return nil, fmt.Errorf("cluster: unknown architecture %q (want alpha|intel|sparc|ref)", p)
+		}
+	}
+	return archs, nil
+}

@@ -5,8 +5,10 @@
 //
 // The evaluator precomputes, once per (topology, model, profile) triple:
 //
-//   - a dense node×node table of network-model path classes, so the hot
-//     loop never rebuilds path signatures or hashes map keys;
+//   - network-model classes indexed by interned path-class ID (plus the
+//     topology's flat pair→ID table when it stores one), so the hot loop
+//     never rebuilds path signatures or hashes map keys — and never
+//     allocates O(nodes²) state on structured topologies;
 //   - per-node resolved compute speeds and CPU counts (no ArchSpeed map
 //     lookups);
 //   - per-rank communication dependents: the profile entries whose Θ term
@@ -30,6 +32,7 @@ package core
 import (
 	"fmt"
 
+	"cbes/internal/cluster"
 	"cbes/internal/monitor"
 	"cbes/internal/netmodel"
 	"cbes/internal/profile"
@@ -49,10 +52,16 @@ type Move struct {
 // fastIndex holds the immutable precomputed lookup tables shared by every
 // Scorer of one evaluator (and its CommBlind sibling).
 type fastIndex struct {
-	nodes   int
-	classes []*netmodel.Class // nodes×nodes path classes; nil = uncalibrated
-	speed   []float64         // per node: profile speed with nominal fallback
-	cpus    []int             // per node: CPU count
+	nodes int
+	// classes is indexed by interned path-class ID (O(classes), not
+	// O(nodes²)); nil entry = uncalibrated. classTbl is the topology's flat
+	// src·n+dst → class-ID table when it stores one (the 2005 testbeds);
+	// structured topologies leave it nil and resolve IDs algebraically.
+	classes  []*netmodel.Class
+	classTbl []int32
+	topo     *cluster.Topology
+	speed    []float64 // per node: profile speed with nominal fallback
+	cpus     []int     // per node: CPU count
 	// flat is every segment's ProcProfile in Predict iteration order;
 	// segOff[s] is the first flat index of segment s (len = segments+1).
 	flat   []*profile.ProcProfile
@@ -68,10 +77,12 @@ type fastIndex struct {
 func buildFastIndex(e *Evaluator) *fastIndex {
 	n := e.Topo.NumNodes()
 	ix := &fastIndex{
-		nodes:   n,
-		classes: e.Model.DenseClasses(),
-		speed:   make([]float64, n),
-		cpus:    make([]int, n),
+		nodes:    n,
+		classes:  e.Model.ClassesByID(),
+		classTbl: e.Topo.ClassIDTable(),
+		topo:     e.Topo,
+		speed:    make([]float64, n),
+		cpus:     make([]int, n),
 	}
 	for node := 0; node < n; node++ {
 		nd := e.Topo.Node(node)
@@ -514,7 +525,13 @@ func (s *Scorer) computeC(f int32) float64 {
 }
 
 func (s *Scorer) latency(src, dst int, size int64) float64 {
-	c := s.ix.classes[src*s.ix.nodes+dst]
+	var id int
+	if tbl := s.ix.classTbl; tbl != nil {
+		id = int(tbl[src*s.ix.nodes+dst])
+	} else {
+		id = s.ix.topo.ClassID(src, dst)
+	}
+	c := s.ix.classes[id]
 	if c == nil {
 		// Same failure mode as Model.Latency on an uncalibrated pair.
 		panic(fmt.Sprintf("netmodel: no calibration for pair (%d,%d)", src, dst))

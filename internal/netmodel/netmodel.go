@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cbes/internal/cluster"
 	"cbes/internal/monitor"
@@ -90,6 +92,12 @@ type Model struct {
 	Classes     map[string]Class `json:"classes"`
 
 	topo *cluster.Topology
+
+	// byID caches Classes resolved by interned path-class ID
+	// (cluster.Topology.ClassID); rebuilt lazily, invalidated by SetClass
+	// and Attach. Entries for uncalibrated classes are nil.
+	byID   atomic.Pointer[[]*Class]
+	buildM sync.Mutex
 }
 
 // New creates an empty model for the topology.
@@ -104,15 +112,26 @@ func (m *Model) Attach(topo *cluster.Topology) error {
 		return fmt.Errorf("netmodel: model calibrated for %q, not %q", m.ClusterName, topo.Name)
 	}
 	m.topo = topo
+	m.byID.Store(nil)
 	return nil
 }
 
 // SetClass installs or replaces a class.
-func (m *Model) SetClass(sig string, c Class) { m.Classes[sig] = c }
+func (m *Model) SetClass(sig string, c Class) {
+	m.Classes[sig] = c
+	m.byID.Store(nil)
+}
 
 // ClassFor returns the class covering the ordered pair, or an error if the
 // calibration never covered its signature.
 func (m *Model) ClassFor(src, dst int) (Class, error) {
+	if t := m.topo; t != nil && t.NumClasses() > 0 {
+		id := t.ClassID(src, dst)
+		if c := m.ClassesByID()[id]; c != nil {
+			return *c, nil
+		}
+		return Class{}, fmt.Errorf("netmodel: no calibration for class %q", t.ClassSignature(id))
+	}
 	sig := m.topo.PathSignature(src, dst)
 	c, ok := m.Classes[sig]
 	if !ok {
@@ -142,7 +161,7 @@ func (m *Model) LatencyCond(src, dst int, size int64, aSrc, aDst, uSrc, uDst flo
 
 // Latency evaluates the load-adjusted latency estimate Lc on a prefetched
 // class. It performs exactly the arithmetic of Model.LatencyCond, so callers
-// holding a class from DenseClasses get bit-identical results to the
+// holding a class from ClassesByID get bit-identical results to the
 // signature-lookup path — the invariant the core fast path relies on.
 func (c *Class) Latency(size int64, aSrc, aDst, uSrc, uDst float64) float64 {
 	l := c.Curve.At(size)
@@ -159,22 +178,30 @@ func (c *Class) Latency(size int64, aSrc, aDst, uSrc, uDst float64) float64 {
 	return l
 }
 
-// DenseClasses resolves the path class of every ordered node pair into a
-// flat n×n table t (t[src*n+dst]); entries whose signature was never
-// calibrated are nil. The table lets hot loops skip the per-call signature
-// string construction and map lookup of ClassFor. The entries are copies
-// taken at call time: SetClass after DenseClasses does not update them.
-func (m *Model) DenseClasses() []*Class {
-	n := m.topo.NumNodes()
-	t := make([]*Class, n*n)
-	for src := 0; src < n; src++ {
-		for dst := 0; dst < n; dst++ {
-			if c, ok := m.Classes[m.topo.PathSignature(src, dst)]; ok {
-				cc := c
-				t[src*n+dst] = &cc
-			}
+// ClassesByID resolves the calibrated classes into a slice indexed by the
+// topology's interned path-class ID (length Topology.NumClasses);
+// uncalibrated classes map to nil. The slice replaces the old n×n dense
+// pair table: it is O(classes), not O(N²), which is what lets the fast
+// path index a 5k-node topology. Entries are copies snapshotted at build
+// time; SetClass invalidates the cache so the next call rebuilds.
+func (m *Model) ClassesByID() []*Class {
+	if p := m.byID.Load(); p != nil {
+		return *p
+	}
+	m.buildM.Lock()
+	defer m.buildM.Unlock()
+	if p := m.byID.Load(); p != nil {
+		return *p
+	}
+	nc := m.topo.NumClasses()
+	t := make([]*Class, nc)
+	for id := 0; id < nc; id++ {
+		if c, ok := m.Classes[m.topo.ClassSignature(id)]; ok {
+			cc := c
+			t[id] = &cc
 		}
 	}
+	m.byID.Store(&t)
 	return t
 }
 

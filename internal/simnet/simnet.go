@@ -14,6 +14,11 @@
 // internal/mpisim charges them to the sender's and receiver's CPUs, which
 // is how CPU load inflates end-to-end latency in this system, mirroring
 // the latency model of the paper's companion dissertation [12].
+//
+// The per-link dynamic state (bandwidth scale, FIFO horizon, utilization
+// accounting) is held in struct-of-arrays form indexed by link ID and
+// direction, so a 5k-node topology costs three flat slices instead of an
+// array of per-link structs interleaving hot and cold fields.
 package simnet
 
 import (
@@ -29,24 +34,20 @@ const (
 	dirBtoA
 )
 
-// linkState tracks FIFO occupancy and utilization accounting for one link.
-type linkState struct {
-	spec cluster.Link
-	// scale multiplies the link's nominal bandwidth: 1 is healthy, smaller
-	// values model a degraded cable/switch port (fault injection).
-	scale float64
-	// freeAt[d] is when the link can begin transmitting the next message in
-	// direction d.
-	freeAt [2]des.Time
-	// busy[d] accumulates transmission time for utilization metrics.
-	busy [2]des.Time
-}
-
 // Network simulates the fabric of a topology on a DES engine.
+//
+// Link state is struct-of-arrays: scale[id] multiplies link id's nominal
+// bandwidth (1 healthy, less = fault-injected degradation); freeAt and
+// busy are indexed 2·id+dir and hold the FIFO release time and the
+// accumulated transmission time per direction. Static link specs are read
+// from the topology, not copied.
 type Network struct {
-	eng   *des.Engine
-	topo  *cluster.Topology
-	links []linkState
+	eng       *des.Engine
+	topo      *cluster.Topology
+	algebraic bool
+	scale     []float64
+	freeAt    []des.Time
+	busy      []des.Time
 	// free recycles transfer records so a multi-hop message costs no
 	// allocations beyond its first traversal of the network.
 	free []*transfer
@@ -56,11 +57,14 @@ type Network struct {
 }
 
 // transfer is one in-flight message traversing its route. Recycled via
-// Network.free once the final hop delivers.
+// Network.free once the final hop delivers. buf is the transfer's own
+// route storage, reused across messages when routes are computed
+// algebraically (stored tables hand out shared slices instead).
 type transfer struct {
 	net  *Network
 	from cluster.Device
 	path []int
+	buf  []int
 	idx  int
 	size int64
 	done func()
@@ -78,11 +82,17 @@ func stepTransfer(a any) {
 
 // New creates a network simulator for topo.
 func New(eng *des.Engine, topo *cluster.Topology) *Network {
-	n := &Network{eng: eng, topo: topo}
-	n.links = make([]linkState, len(topo.Links))
-	for i, l := range topo.Links {
-		n.links[i].spec = l
-		n.links[i].scale = 1
+	nl := len(topo.Links)
+	n := &Network{
+		eng:       eng,
+		topo:      topo,
+		algebraic: topo.AlgebraicRoutes(),
+		scale:     make([]float64, nl),
+		freeAt:    make([]des.Time, 2*nl),
+		busy:      make([]des.Time, 2*nl),
+	}
+	for i := range n.scale {
+		n.scale[i] = 1
 	}
 	return n
 }
@@ -103,14 +113,14 @@ func (n *Network) DegradeLink(id int, factor float64) {
 	if factor < minLinkScale {
 		factor = minLinkScale
 	}
-	n.links[id].scale = factor
+	n.scale[id] = factor
 }
 
 // RestoreLink returns link id to nominal bandwidth.
-func (n *Network) RestoreLink(id int) { n.links[id].scale = 1 }
+func (n *Network) RestoreLink(id int) { n.scale[id] = 1 }
 
 // LinkScale reports link id's current bandwidth scale (1 = healthy).
-func (n *Network) LinkScale(id int) float64 { return n.links[id].scale }
+func (n *Network) LinkScale(id int) float64 { return n.scale[id] }
 
 // Topology returns the static topology.
 func (n *Network) Topology() *cluster.Topology { return n.topo }
@@ -131,11 +141,11 @@ func txTime(size int64, bandwidth float64) des.Time {
 
 // linkDirection determines the traversal direction given the device we
 // depart from.
-func (n *Network) linkDirection(l *linkState, from cluster.Device) (direction, cluster.Device) {
-	if l.spec.A == from {
-		return dirAtoB, l.spec.B
+func linkDirection(l *cluster.Link, from cluster.Device) (direction, cluster.Device) {
+	if l.A == from {
+		return dirAtoB, l.B
 	}
-	return dirBtoA, l.spec.A
+	return dirBtoA, l.A
 }
 
 // Deliver injects a message of size bytes from node src to node dst and
@@ -175,7 +185,14 @@ func (n *Network) launch(t *transfer, src, dst int, size int64) {
 		return
 	}
 	t.from = cluster.Device{Kind: cluster.DevNode, Index: src}
-	t.path = n.topo.Path(src, dst)
+	if n.algebraic {
+		// Compute the route into the transfer's recycled buffer: O(hops)
+		// work, amortized zero allocations.
+		t.buf = n.topo.AppendPath(t.buf[:0], src, dst)
+		t.path = t.buf
+	} else {
+		t.path = n.topo.Path(src, dst)
+	}
 	n.hop(t)
 }
 
@@ -204,16 +221,18 @@ func (n *Network) hop(t *transfer) {
 		}
 		return
 	}
-	l := &n.links[t.path[t.idx]]
-	dir, next := n.linkDirection(l, t.from)
+	lid := t.path[t.idx]
+	l := &n.topo.Links[lid]
+	dir, next := linkDirection(l, t.from)
+	di := 2*lid + int(dir)
 	start := n.eng.Now()
-	if l.freeAt[dir] > start {
-		start = l.freeAt[dir]
+	if n.freeAt[di] > start {
+		start = n.freeAt[di]
 	}
-	tx := txTime(t.size, l.spec.Bandwidth*l.scale)
-	l.freeAt[dir] = start + tx
-	l.busy[dir] += tx
-	arrive := start + tx + l.spec.Latency
+	tx := txTime(t.size, l.Bandwidth*n.scale[lid])
+	n.freeAt[di] = start + tx
+	n.busy[di] += tx
+	arrive := start + tx + l.Latency
 	t.from = next
 	t.idx++
 	n.eng.ScheduleArgAt(arrive, stepTransfer, t)
@@ -226,9 +245,10 @@ func (n *Network) EstimateNoLoad(src, dst int, size int64) des.Time {
 	if src == dst {
 		return loopbackLatency(size)
 	}
+	var buf [16]int
 	var t des.Time
-	for _, lid := range n.topo.Path(src, dst) {
-		l := n.topo.Links[lid]
+	for _, lid := range n.topo.AppendPath(buf[:0], src, dst) {
+		l := &n.topo.Links[lid]
 		t += txTime(size, l.Bandwidth) + l.Latency
 	}
 	return t
@@ -237,17 +257,11 @@ func (n *Network) EstimateNoLoad(src, dst int, size int64) des.Time {
 // LinkBusy reports the accumulated transmission time of link id in both
 // directions (used by NIC/bandwidth sensors).
 func (n *Network) LinkBusy(id int) des.Time {
-	return n.links[id].busy[dirAtoB] + n.links[id].busy[dirBtoA]
+	return n.busy[2*id] + n.busy[2*id+1]
 }
 
 // EdgeLink returns the ID of the link that connects node id to its edge
 // switch (its NIC cable).
 func (n *Network) EdgeLink(node int) int {
-	dev := cluster.Device{Kind: cluster.DevNode, Index: node}
-	for _, l := range n.topo.Links {
-		if l.A == dev || l.B == dev {
-			return l.ID
-		}
-	}
-	return -1
+	return n.topo.EdgeLink(node)
 }

@@ -13,21 +13,24 @@ import (
 type Cluster struct {
 	Eng  *des.Engine
 	Topo *cluster.Topology
-	cpus []*CPU
+	// cpus is one contiguous slice — per-node state lives in a single
+	// allocation laid out by dense node ID, not one heap object per node.
+	cpus []CPU
 }
 
 // New animates topo on the given engine with all nodes idle.
 func New(eng *des.Engine, topo *cluster.Topology) *Cluster {
 	c := &Cluster{Eng: eng, Topo: topo}
-	c.cpus = make([]*CPU, topo.NumNodes())
+	c.cpus = make([]CPU, topo.NumNodes())
 	for i := range c.cpus {
-		c.cpus[i] = NewCPU(eng, topo.Node(i))
+		c.cpus[i].init(eng, topo.Node(i))
 	}
 	return c
 }
 
-// CPU returns the CPU of node id.
-func (c *Cluster) CPU(id int) *CPU { return c.cpus[id] }
+// CPU returns the CPU of node id. The pointer stays valid for the life of
+// the cluster (the backing slice is never reallocated).
+func (c *Cluster) CPU(id int) *CPU { return &c.cpus[id] }
 
 // Availability reports node id's background availability (ground truth).
 func (c *Cluster) Availability(id int) float64 { return c.cpus[id].Availability() }

@@ -72,7 +72,15 @@ type CPU struct {
 
 // NewCPU creates an idle CPU for the given node at full availability.
 func NewCPU(eng *des.Engine, node *cluster.Node) *CPU {
-	return &CPU{eng: eng, node: node, avail: 1.0, lastTouch: eng.Now()}
+	c := &CPU{}
+	c.init(eng, node)
+	return c
+}
+
+// init makes c an idle CPU for the given node at full availability —
+// the in-place form Cluster.New uses to lay CPUs out contiguously.
+func (c *CPU) init(eng *des.Engine, node *cluster.Node) {
+	c.eng, c.node, c.avail, c.lastTouch = eng, node, 1.0, eng.Now()
 }
 
 // Node returns the static description of the node this CPU belongs to.
