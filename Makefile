@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify ci bench bench-quick bench-compare service-bench service-bench-short obs-smoke faults-smoke fuzz
+.PHONY: build test verify ci bench bench-quick bench-compare service-bench service-bench-short obs-smoke overload-smoke faults-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ ci:
 	$(GO) vet ./...
 	$(MAKE) faults-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) overload-smoke
 	$(GO) test -race -timeout 45m ./...
 	$(MAKE) bench-quick
 	$(MAKE) service-bench-short
@@ -70,6 +71,14 @@ service-bench-short:
 # flip), and checks clean SIGTERM shutdown.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# End-to-end overload-protection smoke test (DESIGN.md §15): boots cbesd
+# with adaptive admission on the test topology profiling a phased (many-
+# segment) app, offers 8x the probed capacity open-loop with 250ms
+# deadlines, and asserts the goodput floor held, the limiter gauges are
+# live, and brownout degradation engaged.
+overload-smoke:
+	sh scripts/overload_smoke.sh
 
 # Fast cross-layer fault gate: the fault-injection, health, degraded-mode,
 # and service-hardening tests across every affected package, in short mode

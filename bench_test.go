@@ -1,4 +1,4 @@
-package cbes
+package cbes_test
 
 // The benchmark harness: one testing.B benchmark per paper table/figure
 // (regenerating a reduced-scale version of each experiment), plus
@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"cbes"
 	"cbes/internal/anneal"
 	"cbes/internal/bench"
 	"cbes/internal/cluster"
@@ -148,14 +149,14 @@ func BenchmarkAblations(b *testing.B) {
 // benchSystem builds a calibrated System with a profiled app once.
 var (
 	benchSysOnce sync.Once
-	benchSys     *System
+	benchSys     *cbes.System
 	benchProg    workloads.Program
 )
 
-func systemForBench(b *testing.B) (*System, workloads.Program) {
+func systemForBench(b *testing.B) (*cbes.System, workloads.Program) {
 	b.Helper()
 	benchSysOnce.Do(func() {
-		benchSys = NewSystem(cluster.NewOrangeGrove(), Config{})
+		benchSys = cbes.NewSystem(cluster.NewOrangeGrove(), cbes.Config{})
 		benchSys.Calibrate(bench.Options{Reps: 3})
 		benchProg = workloads.Aztec(8)
 		benchSys.MustProfile(benchProg, benchSys.Topo.NodesByArch(cluster.ArchAlpha))
@@ -182,7 +183,7 @@ func BenchmarkMappingEvaluation(b *testing.B) {
 }
 
 // Scheduler benches: one full scheduling decision per iteration.
-func benchScheduler(b *testing.B, alg Algorithm) {
+func benchScheduler(b *testing.B, alg cbes.Algorithm) {
 	sys, prog := systemForBench(b)
 	pool := sys.Pool(cluster.ArchAlpha, cluster.ArchIntel, cluster.ArchSPARC)
 	b.ResetTimer()
@@ -193,10 +194,10 @@ func benchScheduler(b *testing.B, alg Algorithm) {
 	}
 }
 
-func BenchmarkSchedulerCS(b *testing.B)  { benchScheduler(b, AlgCS) }
-func BenchmarkSchedulerNCS(b *testing.B) { benchScheduler(b, AlgNCS) }
-func BenchmarkSchedulerGA(b *testing.B)  { benchScheduler(b, AlgGA) }
-func BenchmarkSchedulerRS(b *testing.B)  { benchScheduler(b, AlgRS) }
+func BenchmarkSchedulerCS(b *testing.B)  { benchScheduler(b, cbes.AlgCS) }
+func BenchmarkSchedulerNCS(b *testing.B) { benchScheduler(b, cbes.AlgNCS) }
+func BenchmarkSchedulerGA(b *testing.B)  { benchScheduler(b, cbes.AlgGA) }
+func BenchmarkSchedulerRS(b *testing.B)  { benchScheduler(b, cbes.AlgRS) }
 
 // BenchmarkSchedulerExhaustive measures full enumeration on the 8-node
 // Alpha pool (8! mappings).

@@ -232,9 +232,18 @@ func ScheduleOn(e *core.Evaluator, snap *monitor.Snapshot, alg Algorithm, pool [
 // ScheduleOnCtx is ScheduleOn with a caller context: when ctx carries an
 // active trace span (obs.ContextWithSpan), the scheduling decision and
 // its per-restart search spans join that trace — the service tier uses
-// this to extend each RPC's causal tree down into the search.
+// this to extend each RPC's causal tree down into the search. When ctx
+// carries a deadline, the search abandons promptly on expiry.
 func ScheduleOnCtx(ctx context.Context, e *core.Evaluator, snap *monitor.Snapshot, alg Algorithm, pool []int, seed int64) (*schedule.Decision, error) {
-	req := &schedule.Request{Eval: e, Snap: snap, Pool: pool, Seed: seed, Ctx: ctx}
+	return ScheduleOnCtxEffort(ctx, e, snap, alg, pool, seed, 0)
+}
+
+// ScheduleOnCtxEffort is ScheduleOnCtx with an explicit search-effort cap
+// (total energy evaluations; 0 selects the scheduler default). The knob
+// the cost/benefit tradeoff turns: more effort buys better mappings at
+// higher estimating cost.
+func ScheduleOnCtxEffort(ctx context.Context, e *core.Evaluator, snap *monitor.Snapshot, alg Algorithm, pool []int, seed int64, effort int) (*schedule.Decision, error) {
+	req := &schedule.Request{Eval: e, Snap: snap, Pool: pool, Seed: seed, Ctx: ctx, Effort: effort}
 	switch alg {
 	case AlgCS:
 		return schedule.SimulatedAnnealing(req)

@@ -2,10 +2,10 @@
 //
 // Usage:
 //
-//	cbesctl [-addr 127.0.0.1:7411] [-timeout 5s] [-retries 3] status
+//	cbesctl [-addr 127.0.0.1:7411] [-timeout 5s] [-retries 3] [-deadline 2s] status
 //	cbesctl [-addr ...] evaluate -app lu.B.8 -mapping 0,1,2,3,4,5,6,7
 //	cbesctl [-addr ...] compare  -app lu.B.8 -mapping 0,1,2,3,4,5,6,7 -mapping 20,21,...
-//	cbesctl [-addr ...] schedule -app lu.B.8 -alg cs -pool 0-7,10-21 [-seed 1]
+//	cbesctl [-addr ...] schedule -app lu.B.8 -alg cs -pool 0-7,10-21 [-seed 1] [-effort N]
 //	cbesctl [-addr ...] advance  -seconds 30
 //	cbesctl [-addr ...] metrics  [-format prom|json] [-json] [-prefix cbes_accuracy]
 //	cbesctl [-addr ...] decisions [-n 20] [-kind schedule] [-app lu.B.8] [-trace HEXID]
@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cbes/internal/admission"
 	"cbes/internal/obs"
 	"cbes/internal/service"
 )
@@ -85,6 +86,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "cbesd address")
 	timeout := flag.Duration("timeout", service.DefaultDialTimeout, "connection timeout")
 	retries := flag.Int("retries", 3, "retries for transient failures on idempotent commands (-1 disables)")
+	deadline := flag.Duration("deadline", 0, "per-call deadline propagated to the server (it abandons work past it; 0 disables)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
@@ -96,6 +98,7 @@ func main() {
 	alg := sub.String("alg", "cs", "scheduler: cs, ncs, rs, ga")
 	pool := sub.String("pool", "", "node pool, e.g. 0-7,10,12")
 	seed := sub.Int64("seed", 1, "scheduler seed")
+	effort := sub.Int("effort", 0, "schedule: search-effort cap in energy evaluations (0 = server default)")
 	seconds := sub.Float64("seconds", 10, "simulated seconds to advance")
 	explain := sub.Bool("explain", false, "evaluate: show the per-process R/C breakdown")
 	format := sub.String("format", "prom", "metrics format: prom (Prometheus text) or json")
@@ -123,6 +126,12 @@ func main() {
 		*retries = -1 // 0 or negative both mean "no retries"
 	}
 	c.SetRetryPolicy(service.RetryPolicy{Max: *retries})
+	if *deadline > 0 {
+		c.SetCallTimeout(*deadline)
+	}
+	// A retry budget keeps a scripted cbesctl loop from multiplying the
+	// offered load against an already-overloaded daemon.
+	c.SetRetryBudget(admission.NewRetryBudget(0))
 
 	switch verb {
 	case "status":
@@ -160,6 +169,9 @@ func main() {
 			fmt.Printf("predid : %s\n", r.PredictionID)
 		}
 		printBand(r.ErrBandLowPct, r.ErrBandHighPct, r.ErrBandSamples)
+		if r.Brownout {
+			fmt.Println("BROWNOUT: server is shedding load; answered from the profile-only fast path (nominal conditions, no predid)")
+		}
 		if r.Degraded {
 			fmt.Printf("DEGRADED: stale monitoring data on nodes %v; prediction used profile-only fallback\n", r.StaleNodes)
 		}
@@ -186,6 +198,9 @@ func main() {
 			}
 			fmt.Printf("%s mapping %v: %.3fs%s%s\n", marker, mappings[i], s, id, note)
 		}
+		if r.Brownout {
+			fmt.Println("BROWNOUT: server is shedding load; batch answered from the profile-only fast path (nominal conditions, no predids)")
+		}
 		if r.TraceID != "" {
 			fmt.Printf("trace: %s\n", r.TraceID)
 		}
@@ -198,7 +213,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := c.Schedule(*app, *alg, ids, *seed)
+		r, err := c.ScheduleEffort(*app, *alg, ids, *seed, *effort)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -391,6 +406,13 @@ func printDecision(d obs.Decision) {
 	}
 	if d.Degraded {
 		fmt.Printf("  DEGRADED: stale nodes %v\n", d.StaleNodes)
+	}
+	if d.Shed {
+		if d.Brownout {
+			fmt.Println("  SHED: admission limiter refused full service; answered via brownout fast path")
+		} else {
+			fmt.Println("  SHED: admission limiter refused this request")
+		}
 	}
 	if d.Err != "" {
 		fmt.Printf("  error: %s\n", d.Err)

@@ -8,7 +8,8 @@
 //	cbesd [-listen 127.0.0.1:7411] [-cluster grove|centurion|test] [-db ./cbesdb]
 //	      [-apps lu.B.8,aztec.8,...] [-debug-listen 127.0.0.1:7412]
 //	      [-span-log spans.jsonl] [-max-clients 64] [-drain-timeout 5s]
-//	      [-request-timeout 30s] [-cache-size 4096] [-fault-crashes N] [-fault-degrades N]
+//	      [-request-timeout 30s] [-cache-size 4096] [-max-inflight N]
+//	      [-admission-target 500ms] [-fault-crashes N] [-fault-degrades N]
 //	      [-fault-drops N] [-fault-stalls N] [-fault-seed S] [-fault-horizon 5m]
 //
 // With -debug-listen set, the daemon also serves an HTTP observability
@@ -16,9 +17,17 @@
 // JSON), /debug/spans (recent traced spans), /debug/accuracy (the
 // predicted-vs-actual calibration ledger, JSON or ?format=csv), /healthz
 // (liveness), /readyz (readiness — 503 while the monitored cluster has
-// down nodes; 200 with a warning line under calibration drift), and the
-// standard /debug/pprof profiles. The same metrics are available over RPC
-// via `cbesctl metrics`, so the control plane can scrape without HTTP.
+// down nodes; 200 with a warning line under calibration drift or
+// sustained admission shedding), and the standard /debug/pprof profiles.
+// The same metrics are available over RPC via `cbesctl metrics`, so the
+// control plane can scrape without HTTP.
+//
+// Overload protection (DESIGN.md §15) is on by default: an adaptive
+// limiter bounds concurrently computing requests (-max-inflight pins the
+// limit; 0 adapts around a p99 target of -admission-target; negative
+// disables), shed Evaluate/Compare requests brown out to profile-only
+// answers, and propagated client deadlines (cbesctl -deadline) abandon
+// doomed work mid-search.
 //
 // The -fault-* flags arm a deterministic seeded fault schedule against the
 // simulated cluster (node crashes, link degradations, sensor dropouts,
@@ -47,6 +56,7 @@ import (
 
 	"cbes"
 	"cbes/internal/accuracy"
+	"cbes/internal/admission"
 	"cbes/internal/bench"
 	"cbes/internal/cluster"
 	"cbes/internal/db"
@@ -80,6 +90,8 @@ func run() error {
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "shutdown budget for draining in-flight requests")
 	requestTimeout := flag.Duration("request-timeout", service.DefaultRequestTimeout, "per-request engine-lock queueing bound (busy error on expiry)")
 	cacheSize := flag.Int("cache-size", service.DefaultCacheSize, "prediction-cache entries (negative disables caching)")
+	maxInflight := flag.Int("max-inflight", 0, "admission limit on concurrently computing requests (0 adaptive, negative disables admission control)")
+	admissionTarget := flag.Duration("admission-target", 500*time.Millisecond, "p99 latency the adaptive admission limiter steers toward")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the injected fault schedule")
 	faultCrashes := flag.Int("fault-crashes", 0, "node crash/recover pairs to inject (0 disables)")
 	faultDegrades := flag.Int("fault-degrades", 0, "link degrade/restore pairs to inject")
@@ -192,6 +204,17 @@ func run() error {
 		return err
 	}
 
+	// The admission limiter is built here (not inside ServeWith) so the
+	// readiness probe keeps a handle for shed-rate reporting.
+	var lim *admission.Limiter
+	if *maxInflight >= 0 {
+		lim = admission.New(admission.Config{
+			Initial:   *maxInflight,
+			Max:       *maxInflight,
+			TargetP99: *admissionTarget,
+		})
+	}
+
 	// Debug HTTP endpoint: metrics, expvar, spans, health, pprof.
 	var debugSrv *http.Server
 	if *debugListen != "" {
@@ -200,7 +223,7 @@ func run() error {
 			l.Close()
 			return err
 		}
-		probes := &probes{sys: sys}
+		probes := &probes{sys: sys, lim: lim}
 		mux := obs.DebugMux(obs.Default(), obs.DefaultTracer(), obs.DefaultRecorder(), probes.live, probes.ready)
 		mux.Handle("/debug/accuracy", accuracy.Handler(accuracy.Default()))
 		debugSrv = &http.Server{Handler: mux}
@@ -221,10 +244,12 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() {
 		errc <- service.ServeWith(sys, l, service.ServeOptions{
-			MaxClients:     *maxClients,
-			DrainTimeout:   *drainTimeout,
-			RequestTimeout: *requestTimeout,
-			CacheSize:      *cacheSize,
+			MaxClients:       *maxClients,
+			DrainTimeout:     *drainTimeout,
+			RequestTimeout:   *requestTimeout,
+			CacheSize:        *cacheSize,
+			Limiter:          lim,
+			DisableAdmission: lim == nil,
 		})
 	}()
 	sigc := make(chan os.Signal, 1)
@@ -253,6 +278,7 @@ func run() error {
 // diagnostic requests, serving degraded-flagged predictions.
 type probes struct {
 	sys *cbes.System
+	lim *admission.Limiter // nil when admission control is disabled
 }
 
 func (p *probes) live() error {
@@ -271,6 +297,15 @@ func (p *probes) ready() error {
 	// a long-running Schedule.
 	if down, suspect := monitor.LastHealthGauges(); down > 0 {
 		return fmt.Errorf("degraded: %d nodes down, %d suspect", down, suspect)
+	}
+	// Sustained shedding is a warning, not a failure: the daemon is
+	// protecting itself and still answering (brownout where possible), so
+	// it stays in rotation, but operators see the overload on the probe.
+	if p.lim != nil {
+		if ratio := p.lim.ShedRatio(); ratio > 0.05 {
+			return obs.Warnf("admission: shedding %.0f%% of requests (limit %d, inflight %d)",
+				ratio*100, p.lim.Limit(), p.lim.Inflight())
+		}
 	}
 	// Calibration drift is a warning, not a failure: predictions are still
 	// served (with their error bands), so the daemon stays in rotation,

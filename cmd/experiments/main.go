@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|phase1|fig5|phase3|fig6|table1|table2|fig7|table3|table4|headline|ablations|faulttol|toposcale]
+//	experiments [-run all|phase1|fig5|phase3|fig6|table1|table2|fig7|table3|table4|headline|ablations|faulttol|toposcale|overload]
 //	            [-scale 0.25] [-seed 42] [-jobs 0] [-v]
 //	            [-topo fattree:16,torus:16x16x4] [-topo-ranks 256]
 //
@@ -128,6 +128,20 @@ func main() {
 			r, err := experiments.TopoScale(strings.Split(*topoSpecs, ","), *topoRanks, *seed)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "toposcale: %v\n", err)
+				os.Exit(1)
+			}
+			keep(r)
+			return r.Render()
+		}})
+	}
+
+	// overload characterizes the service tier's admission control, not
+	// the paper; like toposcale it only runs when named explicitly.
+	if want["overload"] {
+		list = append(list, exp{"overload", func() string {
+			r, err := experiments.Overload(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "overload: %v\n", err)
 				os.Exit(1)
 			}
 			keep(r)

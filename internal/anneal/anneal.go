@@ -120,8 +120,12 @@ type Config struct {
 	Seed int64
 	// Ctx, when non-nil, parents this run's trace span under the
 	// context's active span (obs.StartSpan), so a scheduling decision's
-	// restarts appear as children of its schedule.decision span. Nil
-	// records the run as a root span, the pre-causal behaviour.
+	// restarts appear as children of its schedule.decision span, and
+	// doubles as the run's cancellation signal: the walk checks
+	// Ctx.Done() once per temperature step and abandons the run (setting
+	// Stats.Cancelled, returning the best state seen so far) when the
+	// context expires. Nil records the run as a root span and never
+	// cancels, the pre-causal behaviour.
 	Ctx context.Context
 }
 
@@ -147,6 +151,20 @@ type Stats struct {
 	Accepted    int
 	Improved    int
 	FinalTemp   float64
+	// Cancelled reports that the run was abandoned early because
+	// Config.Ctx expired; the returned best state covers only the
+	// evaluations spent before the cancellation.
+	Cancelled bool
+}
+
+// doneChan extracts the cancellation channel of a possibly-nil context.
+// A nil channel never receives, so `case <-done` in a select with a
+// default arm costs nothing when cancellation is disabled.
+func doneChan(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
 }
 
 // Minimize anneals from the initial state, proposing neighbors and
@@ -173,7 +191,20 @@ func Minimize[S any](cfg Config, initial S, energy func(S) float64, neighbor fun
 	}
 	minTemp := temp * cfg.MinTemp
 
+	done := doneChan(cfg.Ctx)
 	for temp > minTemp && st.Evaluations < cfg.MaxEvaluations {
+		select {
+		case <-done:
+			// Deadline propagation: the caller's context expired, so nobody
+			// will read the answer — abandon the walk, keeping the best
+			// state found so far for the cancellation error path.
+			st.Cancelled = true
+			st.FinalTemp = temp
+			conv.attach(span)
+			observeRun("full", minTemp/cfg.MinTemp, bestE, st, span)
+			return best, bestE, st
+		default:
+		}
 		for i := 0; i < cfg.StepsPerTemp && st.Evaluations < cfg.MaxEvaluations; i++ {
 			cand := neighbor(cur, rng)
 			candE := energy(cand)
@@ -326,8 +357,21 @@ func MinimizeIncremental[M any](cfg Config, p IncrementalProblem[M]) (float64, S
 	}
 	minTemp := temp * cfg.MinTemp
 
+	done := doneChan(cfg.Ctx)
 	misses := 0
 	for temp > minTemp && st.Evaluations < cfg.MaxEvaluations && misses < proposalPatience {
+		select {
+		case <-done:
+			// Caller's deadline expired: stop annealing. The problem state
+			// already holds the best committed mapping (OnBest fired for it),
+			// so the caller can still report the partial result.
+			st.Cancelled = true
+			st.FinalTemp = temp
+			conv.attach(span)
+			observeRun("incremental", minTemp/cfg.MinTemp, bestE, st, span)
+			return bestE, st
+		default:
+		}
 		for i := 0; i < cfg.StepsPerTemp && st.Evaluations < cfg.MaxEvaluations; i++ {
 			mv, ok := p.Propose(rng)
 			if !ok {

@@ -145,6 +145,12 @@ type Prediction struct {
 	// StaleNodes lists the mapped nodes that triggered the fallback, in
 	// ascending node order.
 	StaleNodes []int
+	// Brownout reports that the prediction was served from the profile-only
+	// fast path (nominal resource conditions for every node) because the
+	// service was shedding load — a cheaper, explicitly-labeled answer in
+	// the spirit of Degraded, but triggered by overload rather than stale
+	// monitoring data.
+	Brownout bool
 }
 
 // Evaluator predicts execution times for mappings of one profiled
@@ -168,6 +174,40 @@ type Evaluator struct {
 	mu     sync.Mutex // guards lazy fastIx construction
 	fastIx *fastIndex
 	pool   sync.Pool // *Scorer arena for Energy
+
+	nominalOnce sync.Once
+	nominal     *monitor.Snapshot // lazily-built brownout view (see PredictBrownout)
+	brownAgg    []brownoutAgg     // lazily-built per-rank profile aggregate
+}
+
+// brownoutAgg collapses one rank's profile across every segment — the
+// precomputation behind the O(ranks) brownout sketch. work is
+// Σ(X+O)·ProfSpeed (the speed-independent numerator of eq. 5's R term);
+// sends/recvs merge the rank's message groups λ-weighted, so one
+// latency lookup per (peer, size) replaces one per segment.
+type brownoutAgg struct {
+	work  float64
+	sends []aggMsg
+	recvs []aggMsg
+}
+
+// aggMsg is a λ-weighted message-group aggregate: wcount · lat(size)
+// approximates Σ_segments λ·Count·lat(size) for one peer.
+type aggMsg struct {
+	peer   int
+	size   int64
+	wcount float64
+}
+
+// addWeighted merges λ·Count for one message group into the aggregate.
+func addWeighted(groups []aggMsg, peer int, size int64, w float64) []aggMsg {
+	for i := range groups {
+		if groups[i].peer == peer && groups[i].size == size {
+			groups[i].wcount += w
+			return groups
+		}
+	}
+	return append(groups, aggMsg{peer: peer, size: size, wcount: w})
 }
 
 // NewEvaluator builds an evaluator after sanity-checking its inputs. The
@@ -238,6 +278,86 @@ func (e *Evaluator) Predict(m Mapping, snap *monitor.Snapshot) (*Prediction, err
 		pred.Seconds += se.Seconds
 		pred.Segments = append(pred.Segments, se)
 	}
+	return pred, nil
+}
+
+// PredictBrownout estimates mapping m against nominal resource
+// conditions — full CPU availability and idle NICs, ignoring monitoring
+// data entirely — from a per-rank aggregate of the profile rather than
+// a segment-by-segment walk. It is the brownout fast path the service
+// uses while shedding load, so it MUST be cheap: O(ranks) instead of
+// Predict's O(segments × ranks), or the degraded path would consume the
+// very capacity whose exhaustion triggered it. The answer depends only
+// on the profile and the topology (valid for the process lifetime,
+// cacheable without an epoch), is coarser than Predict — the critical
+// rank is assumed constant across the run, so barrier effects inside
+// segments are lost and no per-segment breakdown is produced — and is
+// explicitly labeled via Prediction.Brownout.
+func (e *Evaluator) PredictBrownout(m Mapping) (*Prediction, error) {
+	if len(m) != e.Prof.Ranks {
+		return nil, fmt.Errorf("core: mapping has %d ranks, profile has %d", len(m), e.Prof.Ranks)
+	}
+	if err := m.Validate(e.Topo); err != nil {
+		return nil, err
+	}
+	e.nominalOnce.Do(func() {
+		n := e.Topo.NumNodes()
+		e.nominal = &monitor.Snapshot{
+			AvailCPU: make([]float64, n),
+			NICUtil:  make([]float64, n),
+		}
+		for i := range e.nominal.AvailCPU {
+			e.nominal.AvailCPU[i] = 1.0
+		}
+		aggs := make([]brownoutAgg, e.Prof.Ranks)
+		for si := range e.Prof.Segments {
+			for pi := range e.Prof.Segments[si].Procs {
+				pp := &e.Prof.Segments[si].Procs[pi]
+				a := &aggs[pp.Rank]
+				a.work += (pp.X + pp.O) * pp.ProfSpeed
+				if pp.Lambda == 0 {
+					continue
+				}
+				for _, g := range pp.Sends {
+					a.sends = addWeighted(a.sends, g.Peer, g.Size, pp.Lambda*float64(g.Count))
+				}
+				for _, g := range pp.Recvs {
+					a.recvs = addWeighted(a.recvs, g.Peer, g.Size, pp.Lambda*float64(g.Count))
+				}
+			}
+		}
+		e.brownAgg = aggs
+	})
+	mult := m.Multiplicity()
+	pred := &Prediction{Mapping: m.Clone(), Brownout: true}
+	for r := range e.brownAgg {
+		a := &e.brownAgg[r]
+		node := m[r]
+		n := e.Topo.Node(node)
+		speed, ok := e.Prof.ArchSpeed[n.Arch]
+		if !ok || speed <= 0 {
+			speed = n.Speed
+		}
+		acpu := 1.0
+		if co := mult[node]; co > 1 {
+			if share := float64(n.CPUs) / float64(co); share < 1 {
+				acpu = share
+			}
+		}
+		total := a.work / speed / acpu
+		if !e.IgnoreComm {
+			for _, g := range a.sends {
+				total += g.wcount * e.Model.Latency(node, m[g.peer], g.size, e.nominal)
+			}
+			for _, g := range a.recvs {
+				total += g.wcount * e.Model.Latency(m[g.peer], node, g.size, e.nominal)
+			}
+		}
+		if total > pred.Seconds {
+			pred.Seconds = total
+		}
+	}
+	metricBrownoutPredicts.Inc()
 	return pred, nil
 }
 

@@ -468,3 +468,45 @@ func TestCompareParallelMatchesSequential(t *testing.T) {
 		t.Fatalf("best = %d, want %d", best, wantBest)
 	}
 }
+
+func TestPredictBrownoutSketch(t *testing.T) {
+	f := newFixture(t, []int{0, 1})
+	m := Mapping{2, 3}
+	sketch, err := f.eval.PredictBrownout(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sketch.Brownout {
+		t.Fatal("brownout prediction not labeled")
+	}
+	if len(sketch.Segments) != 0 {
+		t.Fatalf("brownout sketch carries %d segments, want none (coarse by design)", len(sketch.Segments))
+	}
+	if sketch.Seconds <= 0 {
+		t.Fatalf("brownout sketch predicted %v seconds", sketch.Seconds)
+	}
+	// The sketch assumes one critical rank for the whole run, so it can
+	// never exceed the full nominal-conditions prediction (sum of
+	// per-segment maxima ≥ max of per-rank sums) — but it should stay in
+	// its ballpark.
+	full, err := f.eval.Predict(m, monitor.IdleSnapshot(f.topo.NumNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sketch.Seconds > full.Seconds*1.0001 {
+		t.Fatalf("sketch %v exceeds full nominal prediction %v", sketch.Seconds, full.Seconds)
+	}
+	if sketch.Seconds < full.Seconds/4 {
+		t.Fatalf("sketch %v implausibly far below full prediction %v", sketch.Seconds, full.Seconds)
+	}
+}
+
+func TestPredictBrownoutValidates(t *testing.T) {
+	f := newFixture(t, []int{0, 1})
+	if _, err := f.eval.PredictBrownout(Mapping{0}); err == nil {
+		t.Fatal("wrong-arity mapping accepted")
+	}
+	if _, err := f.eval.PredictBrownout(Mapping{0, 99}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}

@@ -41,4 +41,9 @@ var (
 	metricNodeDownErrors = obs.Default().Counter(
 		"cbes_core_node_down_errors_total",
 		"Evaluations rejected because the mapping placed a rank on a down node.")
+
+	// Brownout fast path (overload handling).
+	metricBrownoutPredicts = obs.Default().Counter(
+		"cbes_core_predict_brownout_total",
+		"Predictions served from the profile-only brownout fast path under load shedding.")
 )

@@ -72,6 +72,9 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	Evaluations int
 	Generations int
+	// Cancelled reports that evolution stopped early because Config.Ctx
+	// expired; the returned best covers only the generations completed.
+	Cancelled bool
 }
 
 // Ops supplies the problem-specific genetic operators over genome G.
@@ -116,7 +119,20 @@ func Minimize[G any](cfg Config, ops Ops[G]) (G, float64, Stats) {
 		cfg.Elite = len(pop) - 1
 	}
 
+	var done <-chan struct{}
+	if cfg.Ctx != nil {
+		done = cfg.Ctx.Done()
+	}
+generations:
 	for gen := 0; gen < cfg.Generations && st.Evaluations < cfg.MaxEvaluations; gen++ {
+		select {
+		case <-done:
+			// Deadline propagation: stop evolving; pop[0] is still the best
+			// individual of the last completed generation.
+			st.Cancelled = true
+			break generations
+		default:
+		}
 		next := make([]scored[G], 0, cfg.Population)
 		next = append(next, pop[:cfg.Elite]...)
 		for len(next) < cfg.Population && st.Evaluations < cfg.MaxEvaluations {

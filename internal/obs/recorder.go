@@ -46,6 +46,11 @@ type Decision struct {
 	// Degraded/StaleNodes mirror the prediction's degraded-mode markers.
 	Degraded   bool  `json:"degraded,omitempty"`
 	StaleNodes []int `json:"stale_nodes,omitempty"`
+	// Shed marks a request the admission limiter refused full service to;
+	// Brownout marks the subset that was answered anyway from the cheaper
+	// profile-only fast path instead of being rejected (DESIGN.md §15).
+	Shed     bool `json:"shed,omitempty"`
+	Brownout bool `json:"brownout,omitempty"`
 	// Mapping and Predicted are the decision itself (for compare, the
 	// winning candidate).
 	Mapping   []int   `json:"mapping,omitempty"`

@@ -1,0 +1,81 @@
+package schedule
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A request whose context is already expired must abandon the search
+// deterministically: every algorithm returns a wrapped ctx error instead
+// of burning its full effort budget.
+func TestCancelledContextAbandonsSearch(t *testing.T) {
+	f := newFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	algs := []struct {
+		name string
+		run  func(*Request) (*Decision, error)
+	}{
+		{"cs", SimulatedAnnealing},
+		{"ncs", SimulatedAnnealingNoComm},
+		{"ga", Genetic},
+		{"exhaustive", Exhaustive},
+	}
+	for _, alg := range algs {
+		req := f.request(allNodes(f), 42)
+		req.Ctx = ctx
+		req.Effort = 100000
+		d, err := alg.run(req)
+		if err == nil {
+			t.Fatalf("%s: expected cancellation error, got decision %+v", alg.name, d)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want wrapped context.Canceled", alg.name, err)
+		}
+	}
+}
+
+// Mid-search expiry: a short deadline must stop SA well before the effort
+// budget would finish on its own.
+func TestDeadlineExpiresMidAnneal(t *testing.T) {
+	f := newFixture(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+
+	req := f.request(allNodes(f), 7)
+	req.Ctx = ctx
+	req.Effort = 50_000_000 // far more than 5ms of delta evaluations
+	start := time.Now()
+	_, err := SimulatedAnnealing(req)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected cancellation error from deadline expiry")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+	// Generous bound: the annealer polls once per temperature step (≤60
+	// evals, µs each), so returning should take milliseconds, not the
+	// seconds the full budget would need.
+	if elapsed > 2*time.Second {
+		t.Fatalf("search took %v after a 5ms deadline — cancellation not prompt", elapsed)
+	}
+}
+
+// Cancellation must not fire for requests without a context (the
+// pre-deadline behaviour): the full effort is spent.
+func TestNoContextRunsFullEffort(t *testing.T) {
+	f := newFixture(t)
+	req := f.request(allNodes(f), 3)
+	req.Effort = 400
+	d, err := SimulatedAnnealing(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Evaluations < req.Effort/2 {
+		t.Fatalf("evaluations = %d, want most of effort %d", d.Evaluations, req.Effort)
+	}
+}

@@ -60,6 +60,9 @@ var (
 	metricInfeasible = obs.Default().Counter(
 		"cbes_schedule_infeasible_total",
 		"Requests rejected because the healthy pool cannot hold the application.")
+	metricCancelled = obs.Default().Counter(
+		"cbes_schedule_cancelled_total",
+		"Searches abandoned because the request's deadline expired mid-search.")
 )
 
 // ErrInfeasible reports a request whose pool — after removing down nodes —
@@ -354,6 +357,11 @@ func Random(req *Request) (d *Decision, err error) {
 	return d, nil
 }
 
+// saRestartCap approximates the evaluations one anneal can usefully
+// spend before the geometric cooling schedule freezes it (~83
+// temperature steps × 60 proposals at the defaults).
+const saRestartCap = 5000
+
 // saResult is the outcome of one independent SA restart.
 type saResult struct {
 	m     core.Mapping
@@ -406,11 +414,19 @@ func saRestart(ctx context.Context, req *Request, sign float64, seed int64, budg
 // concurrently on a bounded worker pool, and keeping the best result
 // (ties broken by restart index, so the outcome is deterministic).
 func saSchedule(ctx context.Context, req *Request) (core.Mapping, float64, int, error) {
+	effort := req.effort()
 	restarts := req.Restarts
 	if restarts <= 0 {
 		restarts = 4
+		// One anneal freezes after ~saRestartCap evaluations (the cooling
+		// schedule, not the budget, ends the walk): effort beyond
+		// restarts×cap would be silently stranded, so a big budget widens
+		// the restart fan instead — more independent walks, same per-walk
+		// schedule. An explicit Restarts always wins.
+		if wide := effort / saRestartCap; wide > restarts {
+			restarts = wide
+		}
 	}
-	effort := req.effort()
 	if restarts > effort {
 		restarts = effort
 	}
@@ -439,10 +455,35 @@ func saSchedule(ctx context.Context, req *Request) (core.Mapping, float64, int, 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx != nil && ctx.Err() != nil {
+				// The deadline expired while this restart queued behind the
+				// worker pool: don't pay its init cost (a wide fan can hold
+				// thousands of not-yet-started walks at cancellation time).
+				results[r] = saResult{err: ctx.Err()}
+				return
+			}
 			results[r] = saRestart(ctx, req, sign, req.Seed+int64(1000*r), budget)
 		}(r, budget)
 	}
 	wg.Wait()
+
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			// Deadline propagation: every restart already abandoned its walk
+			// via the annealer's per-temperature cancellation check. The
+			// partial bests are not comparable to a finished search, so
+			// surface the cancellation (with the effort sunk) instead of a
+			// mapping nobody asked to act on.
+			spent := 0
+			for r := range results {
+				if results[r].err == nil {
+					spent += results[r].evals
+				}
+			}
+			metricCancelled.Inc()
+			return nil, 0, 0, fmt.Errorf("schedule: search abandoned after %d evaluations: %w", spent, cerr)
+		}
+	}
 
 	var best core.Mapping
 	bestE := 0.0
@@ -584,6 +625,10 @@ func Genetic(req *Request) (d *Decision, err error) {
 			return neighbor(req, m, rng)
 		},
 	})
+	if st.Cancelled {
+		metricCancelled.Inc()
+		return nil, fmt.Errorf("schedule: search abandoned after %d evaluations: %w", st.Evaluations, ctx.Err())
+	}
 	if req.Constraint != nil && !req.Constraint(best) {
 		metricConstraintFailures.Inc()
 		return nil, fmt.Errorf("schedule: no constraint-satisfying mapping found within effort %d", req.effort())
@@ -604,7 +649,7 @@ func Genetic(req *Request) (d *Decision, err error) {
 // single-rank move to the scorer and leaving it undoes the move, so each
 // enumerated mapping costs one delta evaluation instead of a full one.
 func Exhaustive(req *Request) (d *Decision, err error) {
-	span, _ := begin(req.Ctx, "exhaustive", req)
+	span, ctx := begin(req.Ctx, "exhaustive", req)
 	defer observe("exhaustive", time.Now(), span, &d, &err)
 	req, err = req.prepare()
 	if err != nil {
@@ -627,8 +672,25 @@ func Exhaustive(req *Request) (d *Decision, err error) {
 	}
 	evals := 0
 	used := make(map[int]int)
+	done := ctx.Done()
+	cancelled := false
+	visits := 0
 	var walk func(rank int)
 	walk = func(rank int) {
+		if cancelled {
+			return
+		}
+		// Deadline propagation: poll the context every 1024 tree nodes so
+		// a huge enumeration stays responsive without paying a select per
+		// delta evaluation.
+		if visits++; visits&1023 == 0 && done != nil {
+			select {
+			case <-done:
+				cancelled = true
+				return
+			default:
+			}
+		}
 		if rank == len(m) {
 			if req.Constraint != nil && !req.Constraint(sc.Current()) {
 				return
@@ -657,6 +719,10 @@ func Exhaustive(req *Request) (d *Decision, err error) {
 		}
 	}
 	walk(0)
+	if cancelled {
+		metricCancelled.Inc()
+		return nil, fmt.Errorf("schedule: exhaustive walk abandoned after %d evaluations: %w", evals, ctx.Err())
+	}
 	if best == nil {
 		metricInfeasible.Inc()
 		return nil, fmt.Errorf("schedule: no feasible mapping: %w", ErrInfeasible)

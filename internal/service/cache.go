@@ -4,8 +4,10 @@ import (
 	"container/list"
 	"context"
 	"encoding/binary"
+	"errors"
 	"sync"
 
+	"cbes/internal/admission"
 	"cbes/internal/core"
 	"cbes/internal/obs"
 )
@@ -39,6 +41,10 @@ type predCache struct {
 	cap int
 	ll  *list.List // front = most recently used; values are *cacheEntry
 	byK map[string]*list.Element
+	// silent suppresses the cache metrics — the brownout cache shares
+	// this implementation but must not pollute the epoch cache's
+	// hit-rate and occupancy series.
+	silent bool
 }
 
 type cacheEntry struct {
@@ -54,17 +60,29 @@ func newPredCache(capacity int) *predCache {
 	return &predCache{cap: capacity, ll: list.New(), byK: map[string]*list.Element{}}
 }
 
+// newBrownCache builds a metric-silent cache for brownout predictions
+// (keyed with predKey(app, m, 0) — epoch-less, see Server.brown).
+func newBrownCache(capacity int) *predCache {
+	c := newPredCache(capacity)
+	c.silent = true
+	return c
+}
+
 // get returns the cached prediction for key, refreshing its recency.
 func (c *predCache) get(key string) (*core.Prediction, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byK[key]
 	if !ok {
-		cacheMisses.Inc()
+		if !c.silent {
+			cacheMisses.Inc()
+		}
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	cacheHits.Inc()
+	if !c.silent {
+		cacheHits.Inc()
+	}
 	return el.Value.(*cacheEntry).pred, true
 }
 
@@ -83,9 +101,13 @@ func (c *predCache) put(key string, pred *core.Prediction) {
 		tail := c.ll.Back()
 		c.ll.Remove(tail)
 		delete(c.byK, tail.Value.(*cacheEntry).key)
-		cacheEvictions.Inc()
+		if !c.silent {
+			cacheEvictions.Inc()
+		}
 	}
-	cacheEntries.Set(float64(c.ll.Len()))
+	if !c.silent {
+		cacheEntries.Set(float64(c.ll.Len()))
+	}
 }
 
 // len reports the resident entry count.
@@ -139,4 +161,76 @@ func (s *Server) predictCached(ctx context.Context, v *view, app string, eval *c
 	s.cache.put(key, pred)
 	span.End()
 	return pred, false, nil
+}
+
+// predictAdmitted is predictCached with admission control on the
+// compute path (DESIGN.md §15): an epoch-cache hit is served without
+// touching the limiter — the cached answer IS the full answer, so the
+// cheap class degenerates to free — while a miss must win an
+// expensive-class slot before evaluating. shed=true (with no prediction
+// and no error) reports that the limiter refused the compute; the
+// caller falls back to the brownout path. With no limiter installed it
+// degenerates to predictCached exactly.
+func (s *Server) predictAdmitted(ctx context.Context, v *view, app string, eval *core.Evaluator, m core.Mapping) (pred *core.Prediction, hit, shed bool, err error) {
+	if s.lim == nil {
+		pred, hit, err = s.predictCached(ctx, v, app, eval, m)
+		return pred, hit, false, err
+	}
+	span, ctx := obs.StartSpan(ctx, "cache.lookup")
+	key := ""
+	if s.cache != nil {
+		key = predKey(app, m, v.epoch)
+		if pred, ok := s.cache.get(key); ok {
+			span.Attr("hit", true).End()
+			return pred, true, false, nil
+		}
+	}
+	span.Attr("hit", false)
+	tk, aerr := s.lim.Acquire(ctx, admission.Expensive)
+	if aerr != nil {
+		span.Attr("shed", true).End()
+		if errors.Is(aerr, admission.ErrShed) {
+			return nil, false, true, nil
+		}
+		return nil, false, false, aerr
+	}
+	defer s.lim.Release(tk)
+	pspan, _ := obs.StartSpan(ctx, "core.predict")
+	pred, err = eval.Predict(m, v.snap)
+	if err != nil {
+		pspan.Error(err).End()
+		span.Error(err).End()
+		return nil, false, false, err
+	}
+	pspan.End()
+	if s.cache != nil {
+		s.cache.put(key, pred)
+	}
+	span.End()
+	return pred, false, false, nil
+}
+
+// predictBrownoutCached serves one profile-only brownout prediction
+// through the metric-silent brownout cache. The key is epoch-less:
+// brownout answers depend only on profile + topology, so repeats are
+// free for the process lifetime — that cacheability is what lets a
+// saturated server keep answering at all. A cache miss computes under a
+// cheap-class admission slot (the serial brownout lane); when even that
+// lane is busy the request finally sheds with ErrShed.
+func (s *Server) predictBrownoutCached(ctx context.Context, eval *core.Evaluator, app string, m core.Mapping) (*core.Prediction, error) {
+	key := predKey(app, m, 0)
+	if pred, ok := s.brown.get(key); ok {
+		return pred, nil
+	}
+	tk, aerr := s.lim.Acquire(ctx, admission.Cheap)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer s.lim.Release(tk)
+	pred, err := eval.PredictBrownout(m)
+	if err != nil {
+		return nil, err
+	}
+	s.brown.put(key, pred)
+	return pred, nil
 }

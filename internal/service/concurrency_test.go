@@ -182,7 +182,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	}
 	results := make(chan res, 5)
 	go func() {
-		val, joined, _ := g.do("k", func() (any, error) {
+		val, joined, _ := g.do(nil, "k", func() (any, error) {
 			close(leaderIn)
 			<-release
 			return 42, nil
@@ -192,7 +192,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	<-leaderIn
 	for i := 0; i < 4; i++ {
 		go func() {
-			val, joined, _ := g.do("k", func() (any, error) { return -1, nil })
+			val, joined, _ := g.do(nil, "k", func() (any, error) { return -1, nil })
 			results <- res{val, joined}
 		}()
 	}
@@ -230,7 +230,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		t.Fatalf("joined count = %d, want 4", joins)
 	}
 	// The key must be free again: a fresh call runs its own fn.
-	val, joined, _ := g.do("k", func() (any, error) { return 7, nil })
+	val, joined, _ := g.do(nil, "k", func() (any, error) { return 7, nil })
 	if joined || val != 7 {
 		t.Fatalf("post-flight call: val=%v joined=%v, want fresh 7", val, joined)
 	}

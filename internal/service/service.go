@@ -23,6 +23,7 @@ import (
 
 	"cbes"
 	"cbes/internal/accuracy"
+	"cbes/internal/admission"
 	"cbes/internal/core"
 	"cbes/internal/des"
 	"cbes/internal/obs"
@@ -60,21 +61,66 @@ var (
 	scheduleCoalesced = obs.Default().Counter(
 		"cbes_schedule_coalesced_total",
 		"Schedule requests served by joining an identical in-flight request instead of searching again.")
+	rpcDeadlineExceeded = obs.Default().Counter(
+		"cbes_rpc_deadline_exceeded_total",
+		"Requests abandoned because the caller's propagated deadline expired server-side.")
+	brownoutServed = obs.Default().Counter(
+		"cbes_brownout_served_total",
+		"Shed requests answered from the profile-only brownout fast path instead of being rejected.")
+	clientBreakerOpen = obs.Default().Counter(
+		"cbes_client_breaker_open_total",
+		"Client calls refused locally because the circuit breaker was open.")
+	clientBudgetExhausted = obs.Default().Counter(
+		"cbes_client_retry_budget_exhausted_total",
+		"Client retries suppressed because the retry budget was empty.")
+)
+
+// Stable error codes (DESIGN.md §15). net/rpc flattens server errors to
+// bare strings, so remote callers cannot errors.Is against the sentinel
+// values — instead every overload-class error carries a "cbes:" code
+// prefix in its message, and the Is* helpers match either the sentinel
+// (local callers) or the code substring (flattened rpc.ServerError).
+// The codes are wire contract: never change them.
+const (
+	codeBusy     = "cbes:busy"
+	codeShed     = "cbes:shed"
+	codeDeadline = "cbes:deadline"
 )
 
 // ErrBusy is returned (wrapped) when a request could not acquire the
 // engine serialization lock within the server's request timeout — e.g. a
-// long-running Schedule is hogging the engine. The condition is transient;
-// the retrying client backs off and retries it. Note that net/rpc flattens
-// server errors to strings, so remote callers must match with IsBusy
-// rather than errors.Is.
-var ErrBusy = errors.New("service: server busy (engine lock timeout)")
+// long-running Advance is hogging the engine. The condition is transient;
+// the retrying client backs off and retries it.
+var ErrBusy = errors.New(codeBusy + ": server busy (engine lock timeout)")
+
+// ErrShed is returned when the admission limiter refused the request and
+// no brownout answer was possible. Transient but load-driven: clients
+// retry only within their retry budget. Aliased from internal/admission
+// so both packages flatten to the same wire code.
+var ErrShed = admission.ErrShed
+
+// ErrDeadlineExceeded is returned (wrapped) when the caller's propagated
+// deadline expired before or while the server worked on the request.
+// Retrying is pointless — the caller is out of time by definition.
+var ErrDeadlineExceeded = errors.New(codeDeadline + ": request deadline exceeded")
+
+// hasCode matches err against a sentinel (local callers) or its stable
+// wire code (errors flattened to strings by net/rpc).
+func hasCode(err, sentinel error, code string) bool {
+	return err != nil && (errors.Is(err, sentinel) || strings.Contains(err.Error(), code))
+}
 
 // IsBusy reports whether err is ErrBusy, either locally (errors.Is) or
 // flattened to a string by net/rpc transport.
-func IsBusy(err error) bool {
-	return err != nil &&
-		(errors.Is(err, ErrBusy) || strings.Contains(err.Error(), "server busy (engine lock timeout)"))
+func IsBusy(err error) bool { return hasCode(err, ErrBusy, codeBusy) }
+
+// IsShed reports whether err is ErrShed across the same two spellings.
+func IsShed(err error) bool { return hasCode(err, ErrShed, codeShed) }
+
+// IsDeadlineExceeded reports whether err is ErrDeadlineExceeded (wire or
+// local) or a raw context.DeadlineExceeded that escaped unwrapped.
+func IsDeadlineExceeded(err error) bool {
+	return hasCode(err, ErrDeadlineExceeded, codeDeadline) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // TraceMeta carries the caller's span context across the net/rpc wire.
@@ -86,6 +132,13 @@ func IsBusy(err error) bool {
 type TraceMeta struct {
 	TraceID uint64
 	SpanID  uint64
+	// DeadlineUnixNano is the caller's absolute deadline (UnixNano), or 0
+	// for none. Absolute rather than a duration so time spent queued —
+	// client-side, on the wire, on the accept backlog — counts against
+	// the budget; it assumes loosely synchronized clocks (DESIGN.md §15).
+	// Gob moves added fields compatibly in both directions: older peers
+	// simply see (or send) zero.
+	DeadlineUnixNano int64
 }
 
 func (m *TraceMeta) setTrace(sc obs.SpanContext) { m.TraceID, m.SpanID = sc.TraceID, sc.SpanID }
@@ -94,16 +147,39 @@ func (m TraceMeta) spanContext() obs.SpanContext {
 	return obs.SpanContext{TraceID: m.TraceID, SpanID: m.SpanID}
 }
 
+func (m *TraceMeta) setDeadline(t time.Time) { m.DeadlineUnixNano = t.UnixNano() }
+
+// deadline decodes the wire deadline, reporting whether one was set.
+func (m TraceMeta) deadline() (time.Time, bool) {
+	if m.DeadlineUnixNano == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, m.DeadlineUnixNano), true
+}
+
 // traceCarrier is what Client.call stamps: any args struct embedding
 // TraceMeta implements it via the promoted pointer method.
 type traceCarrier interface{ setTrace(sc obs.SpanContext) }
 
+// deadlineCarrier is the deadline-stamping counterpart of traceCarrier.
+type deadlineCarrier interface{ setDeadline(t time.Time) }
+
 // startRPCSpan opens the server-side span of one RPC, adopting the
 // caller's wire-carried trace when present and minting a fresh one
-// otherwise, and returns a context carrying it for the handler body.
-func startRPCSpan(method string, meta TraceMeta) (*obs.ActiveSpan, context.Context) {
+// otherwise, and returns a context carrying it for the handler body —
+// bounded by the caller's propagated deadline when the meta carries one.
+// The returned cancel must run when the handler finishes (it releases
+// the deadline timer).
+func startRPCSpan(method string, meta TraceMeta) (*obs.ActiveSpan, context.Context, context.CancelFunc) {
 	span := obs.DefaultTracer().StartRemote("rpc."+method, meta.spanContext())
-	return span, obs.ContextWithSpan(context.Background(), span)
+	ctx := obs.ContextWithSpan(context.Background(), span)
+	if dl, ok := meta.deadline(); ok {
+		span.Attr("deadline_ms", time.Until(dl).Milliseconds())
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, dl)
+		return span, ctx, cancel
+	}
+	return span, ctx, func() {}
 }
 
 // intercept wraps one writer RPC method body with instrumentation, panic
@@ -123,11 +199,23 @@ func (s *Server) intercept(method string, meta TraceMeta, fn func(ctx context.Co
 	defer rpcInflight.Add(-1)
 	defer s.inflight.Done()
 	start := time.Now()
-	span, ctx := startRPCSpan(method, meta)
+	span, ctx, cancel := startRPCSpan(method, meta)
+	defer cancel()
+	// A request arriving with its deadline already spent never gets to
+	// touch the engine lock — the writer queue is precious.
+	if ctx.Err() != nil {
+		return failObserved(method, span, start, deadlineError(method, ctx.Err()))
+	}
 	timer := time.NewTimer(s.timeout)
 	defer timer.Stop()
 	select {
 	case s.lock <- struct{}{}:
+	case <-ctx.Done():
+		// The caller's deadline expired while we queued behind another
+		// writer (the stalled-engine case): give up its queue slot so a
+		// wedged Advance cannot pile up doomed ReportOutcome/Advance
+		// requests behind it.
+		return failObserved(method, span, start, deadlineError(method, ctx.Err()))
 	case <-timer.C:
 		queued := time.Since(start).Seconds()
 		rpcBusy.Inc()
@@ -139,13 +227,45 @@ func (s *Server) intercept(method string, meta TraceMeta, fn func(ctx context.Co
 		span.Error(err).End()
 		return err
 	}
-	err := s.invoke(method, ctx, fn)
+	err := wireDeadline(s.invoke(method, ctx, fn))
 	rpcRequests.With(method).Inc()
 	rpcSeconds.With(method).Observe(time.Since(start).Seconds())
 	if err != nil {
 		rpcErrors.With(method).Inc()
 	}
 	span.Error(err).End()
+	return err
+}
+
+// failObserved books one request that failed before (or instead of)
+// running its handler into the standard per-method metrics and closes
+// its span.
+func failObserved(method string, span *obs.ActiveSpan, start time.Time, err error) error {
+	rpcRequests.With(method).Inc()
+	rpcSeconds.With(method).Observe(time.Since(start).Seconds())
+	rpcErrors.With(method).Inc()
+	span.Error(err).End()
+	return err
+}
+
+// deadlineError wraps a context expiry into the stable wire-coded
+// deadline error.
+func deadlineError(method string, cause error) error {
+	rpcDeadlineExceeded.Inc()
+	return fmt.Errorf("service: %s: %v: %w", method, cause, ErrDeadlineExceeded)
+}
+
+// wireDeadline rewrites raw context errors escaping a handler into the
+// stable wire-coded ErrDeadlineExceeded so remote callers can match them
+// after net/rpc flattening. Other errors pass through untouched.
+func wireDeadline(err error) error {
+	if err == nil || hasCode(err, ErrDeadlineExceeded, codeDeadline) {
+		return err
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		rpcDeadlineExceeded.Inc()
+		return fmt.Errorf("service: %v: %w", err, ErrDeadlineExceeded)
+	}
 	return err
 }
 
@@ -164,8 +284,14 @@ func (s *Server) interceptRead(method string, meta TraceMeta, fn func(ctx contex
 	defer rpcInflight.Add(-1)
 	defer s.inflight.Done()
 	start := time.Now()
-	span, ctx := startRPCSpan(method, meta)
-	err := s.run(method, ctx, fn)
+	span, ctx, cancel := startRPCSpan(method, meta)
+	defer cancel()
+	if ctx.Err() != nil {
+		// The propagated deadline is already spent: fail fast instead of
+		// computing an answer nobody will read.
+		return failObserved(method, span, start, deadlineError(method, ctx.Err()))
+	}
+	err := wireDeadline(s.run(method, ctx, fn))
 	rpcRequests.With(method).Inc()
 	rpcSeconds.With(method).Observe(time.Since(start).Seconds())
 	if err != nil {
@@ -221,6 +347,12 @@ type EvaluateReply struct {
 	Degraded bool
 	// StaleNodes lists the mapped nodes that triggered the fallback.
 	StaleNodes []int
+	// Brownout reports that the server was shedding load and answered
+	// from the profile-only fast path (nominal resource conditions,
+	// monitoring ignored) instead of rejecting — a cheaper, explicitly
+	// labeled answer (DESIGN.md §15). Brownout replies carry no
+	// PredictionID: their systematic bias must not feed calibration.
+	Brownout bool
 	// PredictionID keys this prediction in the accuracy ledger; reporting
 	// the measured runtime back via ReportOutcome joins the pair and feeds
 	// the calibration statistics (DESIGN.md §12).
@@ -266,6 +398,10 @@ type CompareReply struct {
 	Degraded []bool
 	// StaleNodes[i] lists mapping i's stale nodes (nil when none).
 	StaleNodes [][]int
+	// Brownout reports that the whole batch was answered from the
+	// profile-only fast path because the server was shedding load
+	// (see EvaluateReply.Brownout); PredictionIDs stay empty.
+	Brownout bool
 	// PredictionIDs[i] is mapping i's accuracy-ledger key, aligned with
 	// Seconds — report whichever candidate actually ran.
 	PredictionIDs []string
@@ -283,6 +419,11 @@ type ScheduleArgs struct {
 	Algorithm string // "cs", "ncs", "rs", "ga"
 	Pool      []int
 	Seed      int64
+	// Effort caps the search's energy evaluations; 0 selects the server
+	// default. The cost/benefit knob: a caller in a hurry (or paying for
+	// estimating service by the evaluation) bounds the search it buys.
+	// Older clients send 0 via gob and keep the default.
+	Effort int
 }
 
 // ScheduleReply carries the chosen mapping.
@@ -453,6 +594,14 @@ type Server struct {
 	// led is the prediction-accuracy ledger every served prediction
 	// registers with (DESIGN.md §12).
 	led *accuracy.Ledger
+	// lim is the adaptive admission limiter (DESIGN.md §15); nil disables
+	// admission control and brownout entirely.
+	lim *admission.Limiter
+	// brown caches profile-only brownout predictions keyed without an
+	// epoch (they depend only on profile + topology, so they stay valid
+	// for the process lifetime). Metric-silent: its hits and misses must
+	// not pollute the epoch cache's hit-rate series.
+	brown *predCache
 }
 
 // NewServer wraps a System with the default request timeout and cache
@@ -467,10 +616,17 @@ func NewServer(sys *cbes.System) *Server {
 		cache:   newPredCache(DefaultCacheSize),
 		rec:     obs.DefaultRecorder(),
 		led:     accuracy.Default(),
+		brown:   newBrownCache(DefaultCacheSize),
 	}
 	s.refreshView()
 	return s
 }
+
+// SetAdmission installs the adaptive admission limiter; nil (the
+// NewServer default) disables admission control and brownout — every
+// request is admitted for full service. Must be called before the
+// server starts handling requests.
+func (s *Server) SetAdmission(l *admission.Limiter) { s.lim = l }
 
 // SetRequestTimeout overrides the engine-lock queueing bound. Must be
 // called before the server starts handling requests.
@@ -557,13 +713,34 @@ func (s *Server) Evaluate(args *EvaluateArgs, reply *EvaluateReply) error {
 		if err != nil {
 			return err
 		}
-		pred, hit, err := s.predictCached(ctx, v, args.App, eval, core.Mapping(args.Mapping))
+		pred, hit, shed, err := s.predictAdmitted(ctx, v, args.App, eval, core.Mapping(args.Mapping))
 		d.CacheLookups = 1
 		if hit {
 			d.CacheHits = 1
 		}
 		if err != nil {
 			return err
+		}
+		if shed {
+			// Brownout: the limiter refused the full-service compute, so
+			// answer from the profile-only fast path — a labeled cheaper
+			// answer instead of a rejection (DESIGN.md §15).
+			d.Shed = true
+			pred, err = s.predictBrownoutCached(ctx, eval, args.App, core.Mapping(args.Mapping))
+			if err != nil {
+				return err
+			}
+			d.Brownout = true
+			brownoutServed.Inc()
+			reply.TraceID = d.TraceID
+			reply.Seconds = pred.Seconds
+			if len(pred.Segments) > 0 {
+				reply.Critical = pred.Segments[0].Critical
+			}
+			reply.Brownout = true
+			d.Mapping = args.Mapping
+			d.Predicted = pred.Seconds
+			return nil
 		}
 		reply.TraceID = d.TraceID
 		reply.Seconds = pred.Seconds
@@ -641,6 +818,20 @@ func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
 		if err != nil {
 			return err
 		}
+		if s.lim != nil {
+			// One expensive-class slot covers the whole batch (per-candidate
+			// slots would let a wide Compare starve everyone else). Shed →
+			// the brownout path answers the batch from the profile-only
+			// fast path instead.
+			tk, aerr := s.lim.Acquire(ctx, admission.Expensive)
+			if aerr != nil {
+				if errors.Is(aerr, admission.ErrShed) {
+					return s.brownoutCompare(ctx, &d, eval, args, reply)
+				}
+				return aerr
+			}
+			defer s.lim.Release(tk)
+		}
 		reply.Seconds = make([]float64, len(args.Mappings))
 		reply.Degraded = make([]bool, len(args.Mappings))
 		reply.StaleNodes = make([][]int, len(args.Mappings))
@@ -683,6 +874,45 @@ func (s *Server) Compare(args *CompareArgs, reply *CompareReply) error {
 	})
 }
 
+// brownoutCompare answers a shed Compare batch from the profile-only
+// fast path: every candidate is predicted against nominal conditions
+// (cache-assisted, computed under the cheap admission lane) and the
+// whole reply is labeled Brownout. The ranking is still useful — the
+// profile-only cost function is exactly the one degraded predictions
+// use — but no candidate registers with the accuracy ledger.
+func (s *Server) brownoutCompare(ctx context.Context, d *obs.Decision, eval *core.Evaluator, args *CompareArgs, reply *CompareReply) error {
+	d.Shed = true
+	reply.Seconds = make([]float64, len(args.Mappings))
+	reply.Degraded = make([]bool, len(args.Mappings))
+	reply.StaleNodes = make([][]int, len(args.Mappings))
+	reply.PredictionIDs = nil // no ledger registration under brownout
+	best := -1
+	for i, m := range args.Mappings {
+		pred, err := s.predictBrownoutCached(ctx, eval, args.App, core.Mapping(m))
+		if err != nil {
+			return err
+		}
+		reply.Seconds[i] = pred.Seconds
+		if math.IsNaN(pred.Seconds) {
+			continue
+		}
+		if best < 0 || pred.Seconds < reply.Seconds[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	d.Brownout = true
+	brownoutServed.Inc()
+	reply.TraceID = d.TraceID
+	reply.Best = best
+	reply.Brownout = true
+	d.Mapping = args.Mappings[best]
+	d.Predicted = reply.Seconds[best]
+	return nil
+}
+
 // Schedule finds a mapping with the requested algorithm. Lock-free, and
 // coalesced: concurrent requests with identical (app, algorithm, pool,
 // seed) against the same epoch share one search — scheduling is
@@ -694,7 +924,17 @@ func (s *Server) Schedule(args *ScheduleArgs, reply *ScheduleReply) error {
 		if s.singleLock {
 			return s.scheduleOn(ctx, v, args, reply)
 		}
-		val, joined, err := s.flights.do(scheduleKey(v.epoch, args), func() (any, error) {
+		val, joined, err := s.flights.do(ctx, scheduleKey(v.epoch, args), func() (any, error) {
+			// Admission inside the flight: followers ride the leader's
+			// slot for free (a joined search costs nothing extra), and a
+			// shed leader propagates ErrShed to every waiting follower.
+			if s.lim != nil {
+				tk, aerr := s.lim.Acquire(ctx, admission.Expensive)
+				if aerr != nil {
+					return nil, aerr
+				}
+				defer s.lim.Release(tk)
+			}
 			var r ScheduleReply
 			if err := s.scheduleOn(ctx, v, args, &r); err != nil {
 				return nil, err
@@ -705,6 +945,19 @@ func (s *Server) Schedule(args *ScheduleArgs, reply *ScheduleReply) error {
 			scheduleCoalesced.Inc()
 		}
 		if err != nil {
+			if IsShed(err) {
+				// The limiter refused the search before scheduleOn could
+				// record anything; log the refusal so `cbesctl decisions`
+				// shows why this request got no mapping. Schedule has no
+				// brownout: a mapping nobody searched for is not a cheaper
+				// answer, it is a wrong one.
+				s.rec.Record(obs.Decision{
+					TraceID: obs.FormatID(obs.TraceIDFromContext(ctx)),
+					Kind:    "schedule", App: args.App,
+					Algorithm: args.Algorithm, Seed: args.Seed, Epoch: v.epoch,
+					Coalesced: joined, Shed: true, Err: err.Error(),
+				})
+			}
 			return err
 		}
 		*reply = *val.(*ScheduleReply) // shared backing arrays, read-only
@@ -745,7 +998,7 @@ func scheduleKey(epoch uint64, args *ScheduleArgs) string {
 	sb.WriteString(args.App)
 	sb.WriteByte(0)
 	sb.WriteString(args.Algorithm)
-	fmt.Fprintf(&sb, "\x00%d\x00%d\x00", args.Seed, epoch)
+	fmt.Fprintf(&sb, "\x00%d\x00%d\x00%d\x00", args.Seed, epoch, args.Effort)
 	for _, n := range args.Pool {
 		fmt.Fprintf(&sb, "%d,", n)
 	}
@@ -767,7 +1020,7 @@ func (s *Server) scheduleOn(ctx context.Context, v *view, args *ScheduleArgs, re
 	if err != nil {
 		return err
 	}
-	dec, err := cbes.ScheduleOnCtx(ctx, eval, v.snap, cbes.Algorithm(args.Algorithm), args.Pool, args.Seed)
+	dec, err := cbes.ScheduleOnCtxEffort(ctx, eval, v.snap, cbes.Algorithm(args.Algorithm), args.Pool, args.Seed, args.Effort)
 	if err != nil {
 		return err
 	}
@@ -939,6 +1192,23 @@ type ServeOptions struct {
 	// disables the prediction cache and Schedule coalescing — the
 	// pre-sharding behaviour, kept for A/B benchmarking only.
 	SingleLock bool
+	// MaxInflight pins the admission limiter's concurrency limit: > 0
+	// fixes both the initial and maximum limit (AIMD may still shrink it
+	// under latency pressure), 0 selects the adaptive defaults, and a
+	// negative value disables admission control entirely (equivalent to
+	// DisableAdmission).
+	MaxInflight int
+	// AdmissionTarget is the p99 latency the limiter steers toward
+	// (default 500ms).
+	AdmissionTarget time.Duration
+	// DisableAdmission turns off the limiter and brownout mode — every
+	// request is admitted for full service. The unprotected control for
+	// overload experiments.
+	DisableAdmission bool
+	// Limiter, when non-nil, is installed instead of constructing one
+	// from MaxInflight/AdmissionTarget — so a daemon can keep the handle
+	// for readiness reporting (cbesd's /readyz shed-rate warning).
+	Limiter *admission.Limiter
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -979,6 +1249,17 @@ func ServeWith(sys *cbes.System, l net.Listener, opts ServeOptions) error {
 	}
 	if opts.SingleLock {
 		impl.SetSingleLock(true)
+	}
+	if !opts.DisableAdmission && opts.MaxInflight >= 0 {
+		lim := opts.Limiter
+		if lim == nil {
+			lim = admission.New(admission.Config{
+				Initial:   opts.MaxInflight,
+				Max:       opts.MaxInflight,
+				TargetP99: opts.AdmissionTarget,
+			})
+		}
+		impl.SetAdmission(lim)
 	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(RPCName, impl); err != nil {
@@ -1096,9 +1377,20 @@ type Client struct {
 	addr        string
 	dialTimeout time.Duration
 
-	mu    sync.Mutex // guards rc across reconnects, and retry
+	mu    sync.Mutex // guards rc across reconnects, and the knobs below
 	rc    *rpc.Client
 	retry RetryPolicy
+	// callTimeout, when > 0, stamps every call with an absolute deadline
+	// (now + callTimeout) propagated in TraceMeta; the whole retry loop
+	// shares one budget. Zero (the default) propagates no deadline.
+	callTimeout time.Duration
+	// budget, when non-nil, bounds retry amplification (see
+	// admission.RetryBudget). Nil (the default) leaves retries bounded
+	// only by RetryPolicy.Max.
+	budget *admission.RetryBudget
+	// breaker, when non-nil, fails calls fast after consecutive
+	// failures (see admission.Breaker). Nil (the default) disables it.
+	breaker *admission.Breaker
 }
 
 // Dial connects to a CBES server with the default timeout.
@@ -1154,6 +1446,44 @@ func (c *Client) retryPolicy() RetryPolicy {
 	return c.retry
 }
 
+// SetCallTimeout sets the per-call deadline budget: every subsequent
+// call stamps now+d as an absolute deadline into its TraceMeta (the
+// server abandons work past it) and the client's own retry loop stops
+// at the same instant. Zero disables deadline propagation (the
+// default).
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.callTimeout = d
+}
+
+// SetRetryBudget installs a retry budget shared by all calls through
+// this client: retries spend tokens, successes earn fractional tokens
+// back, so under persistent overload the retry rate decays to the earn
+// ratio instead of multiplying offered load. Nil removes the budget.
+func (c *Client) SetRetryBudget(b *admission.RetryBudget) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = b
+}
+
+// SetBreaker installs a circuit breaker: after a run of consecutive
+// failures the client fails fast with ErrCircuitOpen (no wire traffic)
+// until a half-open probe succeeds, keeping a struggling server's
+// recovery window free of this client's traffic. Nil removes it.
+func (c *Client) SetBreaker(b *admission.Breaker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.breaker = b
+}
+
+// resilience snapshots the overload-protection knobs for one call.
+func (c *Client) resilience() (time.Duration, *admission.RetryBudget, *admission.Breaker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.callTimeout, c.budget, c.breaker
+}
+
 // Close terminates the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -1189,7 +1519,8 @@ func (c *Client) reconnect(old *rpc.Client) {
 
 // isTransient classifies errors worth retrying: the connection died (the
 // request outcome is unknown — safe to resend only idempotent methods), or
-// the server reported ErrBusy (definitely not executed).
+// the server reported ErrBusy/ErrShed (definitely not executed). Deadline
+// errors are NOT transient: the budget that expired covers retries too.
 func isTransient(err error) bool {
 	if err == nil {
 		return false
@@ -1202,9 +1533,9 @@ func isTransient(err error) bool {
 		return true
 	}
 	if _, ok := err.(rpc.ServerError); ok {
-		return IsBusy(err)
+		return IsBusy(err) || IsShed(err)
 	}
-	return IsBusy(err) || errors.Is(err, net.ErrClosed)
+	return IsBusy(err) || IsShed(err) || errors.Is(err, net.ErrClosed)
 }
 
 // connError reports whether err indicates the underlying connection is
@@ -1217,9 +1548,19 @@ func connError(err error) bool {
 }
 
 // call performs one RPC, retrying transient failures when idempotent is
-// true. Non-idempotent methods (Advance) never retry: a lost reply leaves
-// the outcome unknown and a resend would double-apply it.
+// true. Non-idempotent methods (Advance, ReportOutcome) never retry: a
+// lost reply leaves the outcome unknown and a resend would double-apply
+// it. When a call timeout is set the absolute deadline is stamped ONCE
+// and shared by every retry — queue time and earlier attempts count
+// against it, so retries cannot stretch a caller's latency budget. The
+// breaker is consulted before any wire traffic and told the outcome of
+// every allowed call; the retry budget gates each resend.
 func (c *Client) call(method string, args, reply any, idempotent bool) (err error) {
+	callTimeout, budget, breaker := c.resilience()
+	if berr := breaker.Allow(); berr != nil {
+		clientBreakerOpen.Inc()
+		return berr
+	}
 	// One client-side span covers the whole retry loop; its context rides
 	// the wire in the args' TraceMeta, so the server-side rpc.* span (and
 	// everything under it — cache, search, anneal restarts) joins THIS
@@ -1229,9 +1570,22 @@ func (c *Client) call(method string, args, reply any, idempotent bool) (err erro
 	if tc, ok := args.(traceCarrier); ok {
 		tc.setTrace(span.Context())
 	}
+	var deadline time.Time
+	if callTimeout > 0 {
+		deadline = time.Now().Add(callTimeout)
+		if dc, ok := args.(deadlineCarrier); ok {
+			dc.setDeadline(deadline)
+		}
+	}
 	attempts := 0
 	defer func() {
 		span.Attr("attempts", attempts).Error(err).End()
+		// The breaker counts overload signals (busy/shed/deadline) and dead
+		// connections alike: both mean "stop hammering this server".
+		breaker.Report(err != nil && (isTransient(err) || IsDeadlineExceeded(err)))
+		if err == nil {
+			budget.Earn()
+		}
 	}()
 	retry := c.retryPolicy() // one coherent policy for the whole call
 	for attempt := 0; ; attempt++ {
@@ -1241,11 +1595,26 @@ func (c *Client) call(method string, args, reply any, idempotent bool) (err erro
 		if err == nil || !idempotent || attempt >= retry.Max || !isTransient(err) {
 			return err
 		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return err // budget exhausted: surface the last real error
+		}
+		if !budget.Allow() {
+			clientBudgetExhausted.Inc()
+			return err
+		}
 		clientRetries.Inc()
 		if connError(err) {
 			c.reconnect(rc)
 		}
-		time.Sleep(retry.delay(attempt))
+		sleep := retry.delay(attempt)
+		if !deadline.IsZero() {
+			if until := time.Until(deadline); until < sleep {
+				sleep = until
+			}
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
 	}
 }
 
@@ -1274,8 +1643,14 @@ func (c *Client) Compare(app string, mappings [][]int) (*CompareReply, error) {
 // transient failure: scheduling is deterministic in (app, algorithm, pool,
 // seed) and mutates nothing, so a resend is safe.
 func (c *Client) Schedule(app, algorithm string, pool []int, seed int64) (*ScheduleReply, error) {
+	return c.ScheduleEffort(app, algorithm, pool, seed, 0)
+}
+
+// ScheduleEffort is Schedule with an explicit search-effort cap (energy
+// evaluations; 0 selects the server default).
+func (c *Client) ScheduleEffort(app, algorithm string, pool []int, seed int64, effort int) (*ScheduleReply, error) {
 	var reply ScheduleReply
-	err := c.call("Schedule", &ScheduleArgs{App: app, Algorithm: algorithm, Pool: pool, Seed: seed}, &reply, true)
+	err := c.call("Schedule", &ScheduleArgs{App: app, Algorithm: algorithm, Pool: pool, Seed: seed, Effort: effort}, &reply, true)
 	return &reply, err
 }
 

@@ -1,6 +1,9 @@
 package service
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup coalesces concurrent calls that share a key: the first
 // caller runs fn, later callers with the same key block until it
@@ -26,8 +29,13 @@ type flightCall struct {
 }
 
 // do runs fn once per concurrent key, returning fn's result and whether
-// this caller joined an existing flight rather than leading one.
-func (g *flightGroup) do(key string, fn func() (any, error)) (val any, joined bool, err error) {
+// this caller joined an existing flight rather than leading one. A
+// follower whose ctx expires while waiting abandons the flight and
+// returns ctx.Err() — the leader keeps running for the callers still
+// interested ("shed followers before singleflight leaders": a follower
+// costs nothing to abandon, the leader's search is sunk work someone
+// still wants). A nil ctx never abandons.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (val any, joined bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[string]*flightCall{}
@@ -35,8 +43,16 @@ func (g *flightGroup) do(key string, fn func() (any, error)) (val any, joined bo
 	if c, ok := g.m[key]; ok {
 		c.shared++
 		g.mu.Unlock()
-		<-c.done
-		return c.val, true, c.err
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-done:
+			return nil, true, ctx.Err()
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c

@@ -9,9 +9,10 @@ import (
 
 // Lookup resolves a program by its canonical name, e.g. "lu.B.8",
 // "hpl.10000.16", "smg2000.50.8", "sweep3d.8", "aztec.8",
-// "irregular.8.42". The last dotted field is always the rank count; NPB
-// kernels take a class letter, HPL a problem size, smg2000 a cube edge,
-// and irregular a seed before the rank count.
+// "irregular.8.42", "phased.3000.8". The last dotted field is always
+// the rank count; NPB kernels take a class letter, HPL a problem size,
+// smg2000 a cube edge, irregular a seed, and phased a segment count
+// before the rank count.
 func Lookup(name string) (Program, error) {
 	parts := strings.Split(name, ".")
 	if len(parts) < 2 {
@@ -87,6 +88,12 @@ func Lookup(name string) (Program, error) {
 			return Program{}, err
 		}
 		return Irregular(ranks, int64(n)), nil
+	case "phased":
+		n, err := num()
+		if err != nil {
+			return Program{}, err
+		}
+		return Phased(n, ranks), nil
 	case "sweep3d":
 		if arg != "" {
 			return Program{}, fmt.Errorf("workloads: sweep3d takes no parameter")
@@ -115,7 +122,7 @@ func Lookup(name string) (Program, error) {
 // Kinds lists the program families Lookup understands.
 func Kinds() []string {
 	kinds := []string{"is", "ep", "cg", "mg", "sp", "bt", "lu", "ft", "hpl",
-		"smg2000", "sweep3d", "samrai", "towhee", "aztec", "irregular"}
+		"smg2000", "sweep3d", "samrai", "towhee", "aztec", "irregular", "phased"}
 	sort.Strings(kinds)
 	return kinds
 }

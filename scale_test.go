@@ -1,4 +1,4 @@
-package cbes
+package cbes_test
 
 // Scale tests and benchmarks for the structured-topology simulator path:
 // 1k/5k-node fat trees built algebraically (no stored route table),
